@@ -1,0 +1,23 @@
+! Successive over-relaxation kernel, as it appears in the LES weather
+! model's pressure solver (integer parameterization for cost-model
+! validation; see Tytra_front.Fortran for the supported subset).
+parameter omega = 1
+parameter cn1   = 1
+parameter cn2l  = 1
+parameter cn2s  = 1
+parameter cn3l  = 1
+parameter cn3s  = 1
+parameter cn4l  = 1
+parameter cn4s  = 1
+
+do k = 1, km
+  do j = 1, jm
+    do i = 1, im
+      reltmp = omega * (cn1 * ( cn2l * p(i+1,j,k) + cn2s * p(i-1,j,k)  &
+             + cn3l * p(i,j+1,k) + cn3s * p(i,j-1,k)                   &
+             + cn4l * p(i,j,k+1) + cn4s * p(i,j,k-1) ) - rhs(i,j,k)) - p(i,j,k)
+      p_new(i,j,k) = p(i,j,k) + reltmp
+      sorerracc = sorerracc + reltmp * reltmp
+    end do
+  end do
+end do
