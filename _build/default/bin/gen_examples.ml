@@ -1,0 +1,39 @@
+(* regenerate shipped .tirl examples, including a coarse pipeline *)
+let () =
+  let p = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 () in
+  Tytra_ir.Pprint.write_file "examples/ir/sor_c2.tirl"
+    (Tytra_front.Lower.lower p Tytra_front.Transform.Pipe);
+  Tytra_ir.Pprint.write_file "examples/ir/sor_c1_4lanes.tirl"
+    (Tytra_front.Lower.lower p (Tytra_front.Transform.ParPipe 4));
+  let h = Tytra_kernels.Hotspot.table2_program () in
+  Tytra_ir.Pprint.write_file "examples/ir/hotspot_c2.tirl"
+    (Tytra_front.Lower.lower h Tytra_front.Transform.Pipe);
+  let l = Tytra_kernels.Lavamd.table2_program () in
+  Tytra_ir.Pprint.write_file "examples/ir/lavamd_c2.tirl"
+    (Tytra_front.Lower.lower l Tytra_front.Transform.Pipe);
+  let s = Tytra_kernels.Srad.program ~rows:64 ~cols:64 () in
+  Tytra_ir.Pprint.write_file "examples/ir/srad_c2.tirl"
+    (Tytra_front.Lower.lower s Tytra_front.Transform.Pipe);
+  (* a coarse-grained pipeline (Fig 7 configuration 3) with a returning
+     call, as a shipped syntax example *)
+  let open Tytra_front.Expr in
+  let blur =
+    { k_name = "blur"; k_ty = Tytra_ir.Ty.UInt 18; k_inputs = [ "img" ];
+      k_params = [ ("w", 1L) ];
+      k_outputs =
+        [ { o_name = "s";
+            o_expr = param "w" *: (sten "img" (-1) +: input "img" +: sten "img" 1) } ];
+      k_reductions = [] }
+  in
+  let scale =
+    { k_name = "scale"; k_ty = Tytra_ir.Ty.UInt 18; k_inputs = [ "v"; "gain" ];
+      k_params = [];
+      k_outputs = [ { o_name = "y"; o_expr = input "v" *: input "gain" } ];
+      k_reductions = [] }
+  in
+  let chain =
+    Tytra_front.Chain.make_exn ~name:"blur_scale" ~shape:[ 256 ] [ blur; scale ]
+  in
+  Tytra_ir.Pprint.write_file "examples/ir/blur_scale_coarse.tirl"
+    (Tytra_front.Chain.lower chain Tytra_front.Transform.Pipe);
+  print_endline "wrote examples/ir/*.tirl"

@@ -1,0 +1,437 @@
+(** TyBEC — the TyTra back-end compiler command-line tool.
+
+    Accepts a design variant in TyTra-IR ([.tirl]), costs it and, if
+    needed, generates the HDL code for it (paper Fig 11). Subcommands:
+
+    - [check]   — parse and validate a [.tirl] file;
+    - [cost]    — run the analytic cost model (fast path);
+    - [synth]   — run the detailed tech-mapper (slow path, "synthesis");
+    - [sim]     — cycle-level simulation on the platform model;
+    - [hdl]     — emit Verilog, the configuration include and the MaxJ
+                  wrapper;
+    - [explore] — front-end design-space exploration over a built-in
+                  kernel;
+    - [bw]      — the sustained-bandwidth streaming benchmark. *)
+
+open Cmdliner
+
+let read_design path =
+  match Tytra_ir.Parser.parse_file path with
+  | d -> (
+      match Tytra_ir.Validate.check d with
+      | [] -> Ok d
+      | errs ->
+          Error
+            (String.concat "\n"
+               (List.map Tytra_ir.Validate.error_to_string errs)))
+  | exception Tytra_ir.Parser.Parse_error (m, l) ->
+      Error (Printf.sprintf "%s:%d: parse error: %s" path l m)
+  | exception Tytra_ir.Lexer.Lex_error (m, l) ->
+      Error (Printf.sprintf "%s:%d: lex error: %s" path l m)
+  | exception Sys_error e -> Error e
+
+(* ---- common args ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.tirl")
+
+let device_arg =
+  let parse s =
+    match Tytra_device.Device.find s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown device %S (known: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun d -> d.Tytra_device.Device.dev_name)
+                     Tytra_device.Device.all))))
+  in
+  let print fmt d =
+    Format.pp_print_string fmt d.Tytra_device.Device.dev_name
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tytra_device.Device.stratixv_gsd8
+    & info [ "device" ] ~docv:"DEVICE" ~doc:"Target FPGA platform.")
+
+let form_arg =
+  let forms =
+    [ ("A", Tytra_cost.Throughput.FormA); ("B", Tytra_cost.Throughput.FormB);
+      ("C", Tytra_cost.Throughput.FormC) ]
+  in
+  Arg.(
+    value
+    & opt (enum forms) Tytra_cost.Throughput.FormB
+    & info [ "form" ] ~docv:"A|B|C"
+        ~doc:"Memory-execution form (paper Fig 6).")
+
+let nki_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "nki" ] ~docv:"N" ~doc:"Kernel-instance repetitions.")
+
+let calib_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "calib" ] ~docv:"FILE"
+        ~doc:"Bandwidth calibration file (from 'tybec bw --save').")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run the IR optimization passes (constant folding, strength \
+              reduction, CSE, DCE, constant-argument propagation) before \
+              the requested action.")
+
+let maybe_optimize opt d =
+  if opt then begin
+    let d', st = Tytra_ir.Optim.run d in
+    Format.eprintf "optimizer: %a@." Tytra_ir.Optim.pp_stats st;
+    d'
+  end
+  else d
+
+let exit_of = function
+  | Ok () -> 0
+  | Error e ->
+      prerr_endline ("tybec: " ^ e);
+      1
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run file =
+    exit_of
+      (Result.map
+         (fun d ->
+           Format.printf "%s: valid TyTra-IR design (%d functions, %d streams)@."
+             d.Tytra_ir.Ast.d_name
+             (List.length d.Tytra_ir.Ast.d_funcs)
+             (List.length d.Tytra_ir.Ast.d_streams);
+           Format.printf "%a@."
+             (fun fmt n -> Tytra_ir.Config_tree.pp_node fmt n)
+             (Tytra_ir.Config_tree.build d))
+         (read_design file))
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and validate a .tirl design")
+    Term.(const run $ file_arg)
+
+(* ---- cost ---- *)
+
+let cost_cmd =
+  let run file device form nki opt calib_file =
+    exit_of
+      (Result.bind (read_design file) (fun d ->
+           Result.bind
+             (match calib_file with
+             | None -> Ok None
+             | Some f ->
+                 Result.map Option.some (Tytra_device.Calib_io.load f))
+             (fun calib ->
+               let d = maybe_optimize opt d in
+               let r =
+                 Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d
+               in
+               Format.printf "%a@." Tytra_cost.Report.pp r;
+               Format.printf "form selection:@.%a@." Tytra_cost.Formsel.pp
+                 (Tytra_cost.Formsel.recommend ~device ?calib ~nki d);
+               Format.printf "@.roofline: %a@." Tytra_cost.Roofline.pp
+                 (Tytra_cost.Roofline.of_design ~device ?calib ~form ~nki d);
+               Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "cost" ~doc:"Run the analytic cost model (fast estimates)")
+    Term.(const run $ file_arg $ device_arg $ form_arg $ nki_arg
+          $ optimize_arg $ calib_arg)
+
+(* ---- synth ---- *)
+
+let synth_cmd =
+  let effort_arg =
+    Arg.(
+      value
+      & opt (enum [ ("fast", `Fast); ("normal", `Normal); ("full", `Full) ])
+          `Normal
+      & info [ "effort" ] ~doc:"Placement effort.")
+  in
+  let run file device effort opt =
+    exit_of
+      (Result.map
+         (fun d ->
+           let d = maybe_optimize opt d in
+           let t0 = Unix.gettimeofday () in
+           let r = Tytra_sim.Techmap.run ~device ~effort d in
+           let dt = Unix.gettimeofday () -. t0 in
+           Format.printf "%a@." Tytra_sim.Techmap.pp_report r;
+           Format.printf "synthesis time: %.2f s@." dt)
+         (read_design file))
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Run the detailed technology mapper (slow, synthesis-grade)")
+    Term.(const run $ file_arg $ device_arg $ effort_arg $ optimize_arg)
+
+(* ---- sim ---- *)
+
+let sim_cmd =
+  let run file device form nki opt =
+    let sform =
+      match form with
+      | Tytra_cost.Throughput.FormA -> Tytra_sim.Cyclesim.A
+      | Tytra_cost.Throughput.FormB -> Tytra_sim.Cyclesim.B
+      | Tytra_cost.Throughput.FormC -> Tytra_sim.Cyclesim.C
+    in
+    exit_of
+      (Result.map
+         (fun d ->
+           let d = maybe_optimize opt d in
+           let r = Tytra_sim.Cyclesim.run ~device ~form:sform ~nki d in
+           Format.printf "%a@." Tytra_sim.Cyclesim.pp_result r)
+         (read_design file))
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Cycle-level simulation on the platform model")
+    Term.(const run $ file_arg $ device_arg $ form_arg $ nki_arg $ optimize_arg)
+
+(* ---- hdl ---- *)
+
+let hdl_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run file dir opt =
+    exit_of
+      (Result.map
+         (fun d ->
+           let d = maybe_optimize opt d in
+           let v, vh = Tytra_hdl.Verilog.write ~dir d in
+           let mj =
+             Filename.concat dir
+               (Tytra_hdl.Verilog.sanitize d.Tytra_ir.Ast.d_name ^ "Kernel.maxj")
+           in
+           let oc = open_out mj in
+           output_string oc (Tytra_hdl.Maxj.emit d);
+           close_out oc;
+           Format.printf "wrote %s@.wrote %s@.wrote %s@." v vh mj)
+         (read_design file))
+  in
+  Cmd.v
+    (Cmd.info "hdl" ~doc:"Emit Verilog, config include and MaxJ wrapper")
+    Term.(const run $ file_arg $ out_arg $ optimize_arg)
+
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let kernel_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sor", `Sor); ("hotspot", `Hotspot); ("lavamd", `Lavamd);
+                    ("srad", `Srad) ])
+          `Sor
+      & info [ "kernel" ] ~doc:"Built-in kernel to explore.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "size" ] ~docv:"N" ~doc:"Grid side (sor/hotspot) or boxes (lavamd).")
+  in
+  let lanes_arg =
+    Arg.(value & opt int 16 & info [ "max-lanes" ] ~doc:"Maximum lane count.")
+  in
+  let run kernel size lanes device form nki =
+    let prog =
+      match kernel with
+      | `Sor -> Tytra_kernels.Sor.program ~im:size ~jm:size ~km:size ()
+      | `Hotspot -> Tytra_kernels.Hotspot.program ~rows:size ~cols:size ()
+      | `Lavamd -> Tytra_kernels.Lavamd.program ~boxes:size ()
+      | `Srad -> Tytra_kernels.Srad.program ~rows:size ~cols:size ()
+    in
+    let pts = Tytra_dse.Dse.explore ~device ~form ~nki ~max_lanes:lanes prog in
+    List.iter (fun p -> Format.printf "%a@." Tytra_dse.Dse.pp_point p) pts;
+    (match Tytra_dse.Dse.best pts with
+    | Some b ->
+        Format.printf "selected: %s@."
+          (Tytra_front.Transform.to_string b.Tytra_dse.Dse.dp_variant)
+    | None -> Format.printf "no valid variant@.");
+    0
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Design-space exploration over a built-in kernel")
+    Term.(
+      const run $ kernel_arg $ size_arg $ lanes_arg $ device_arg $ form_arg
+      $ nki_arg)
+
+(* ---- bw ---- *)
+
+let bw_cmd =
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Save the sweep as a calibration file for 'tybec cost --calib'.")
+  in
+  let run device save =
+    let ms = Tytra_streambench.Streambench.sweep device in
+    Format.printf " side       bytes        pattern     sustained@.";
+    List.iter
+      (fun m -> Format.printf "%a@." Tytra_streambench.Streambench.pp m)
+      ms;
+    (match save with
+    | Some path ->
+        Tytra_device.Calib_io.save path
+          (Tytra_streambench.Streambench.to_calib device ms);
+        Format.printf "calibration written to %s@." path
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "bw" ~doc:"Sustained-bandwidth benchmark (paper Fig 10)")
+    Term.(const run $ device_arg $ save_arg)
+
+
+
+(* ---- testbench ---- *)
+
+let tb_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt string "tb"
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Stimulus generator seed.")
+  in
+  let run file dir seed =
+    exit_of
+      (Result.bind (read_design file) (fun d ->
+           (* random stimulus for every IStream port *)
+           let env =
+             List.filter_map
+               (fun (p : Tytra_ir.Ast.port) ->
+                 if p.Tytra_ir.Ast.pt_dir <> Tytra_ir.Ast.IStream then None
+                 else
+                   match Tytra_ir.Ast.find_stream d p.Tytra_ir.Ast.pt_stream with
+                   | None -> None
+                   | Some s ->
+                       let n =
+                         match Tytra_ir.Ast.find_mem d s.Tytra_ir.Ast.so_mem with
+                         | Some m -> m.Tytra_ir.Ast.mo_size
+                         | None -> 0
+                       in
+                       let rng =
+                         Tytra_sim.Prng.of_string
+                           (seed ^ ":" ^ p.Tytra_ir.Ast.pt_port)
+                       in
+                       Some
+                         ( p.Tytra_ir.Ast.pt_port,
+                           Array.init n (fun _ ->
+                               Int64.of_int (Tytra_sim.Prng.int rng 64)) ))
+               d.Tytra_ir.Ast.d_ports
+           in
+           match Tytra_hdl.Testbench.write ~dir d env with
+           | tb ->
+               let v, vh = Tytra_hdl.Verilog.write ~dir d in
+               Format.printf "wrote %s@.wrote %s@.wrote %s@." v vh tb;
+               Format.printf
+                 "run with e.g.: iverilog -o tb %s %s && vvp tb@." v tb;
+               Ok ()
+           | exception Invalid_argument m -> Error m))
+  in
+  Cmd.v
+    (Cmd.info "testbench"
+       ~doc:"Emit Verilog plus a self-checking testbench with golden vectors")
+    Term.(const run $ file_arg $ out_arg $ seed_arg)
+
+(* ---- import (legacy front ends) ---- *)
+
+let import_cmd =
+  let src_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.f90|FILE.c")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' (pair ~sep:'=' string int)) []
+      & info [ "sizes" ] ~docv:"NAME=V,..."
+          ~doc:"Bindings for symbolic loop bounds, e.g. im=16,jm=16,km=16.")
+  in
+  let lanes_opt =
+    Arg.(
+      value & opt int 1
+      & info [ "lanes" ] ~docv:"N" ~doc:"Lane count of the generated variant.")
+  in
+  let ty_arg =
+    let parse s =
+      match Tytra_ir.Ty.of_string s with
+      | Ok t -> Ok t
+      | Error e -> Error (`Msg e)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, fun fmt t ->
+                Format.pp_print_string fmt (Tytra_ir.Ty.to_string t)))
+          (Tytra_ir.Ty.UInt 18)
+      & info [ "ty" ] ~docv:"TYPE" ~doc:"Element type (ui18, fp32, ...).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE.tirl"
+          ~doc:"Write the lowered TyTra-IR here (default: stdout).")
+  in
+  let run src sizes lanes ty out =
+    let result =
+      try
+        let prog =
+          if Filename.check_suffix src ".c" then
+            Tytra_front.C_front.parse_file ~ty ~sizes src
+          else Tytra_front.Fortran.parse_file ~ty ~sizes src
+        in
+        let v =
+          if lanes <= 1 then Tytra_front.Transform.Pipe
+          else Tytra_front.Transform.ParPipe lanes
+        in
+        if not (Tytra_front.Transform.applicable prog v) then
+          Error
+            (Printf.sprintf "%d lanes do not divide the %d-point index space"
+               lanes
+               (Tytra_front.Expr.points prog))
+        else begin
+          let d = Tytra_front.Lower.lower prog v in
+          (match out with
+          | Some path ->
+              Tytra_ir.Pprint.write_file path d;
+              Format.printf "wrote %s@." path
+          | None -> Format.printf "%a@." Tytra_ir.Pprint.pp_design d);
+          Ok ()
+        end
+      with
+      | Tytra_front.Fortran.Error (m, l) ->
+          Error (Printf.sprintf "%s:%d: %s" src l m)
+      | Invalid_argument m -> Error m
+    in
+    exit_of result
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Import a legacy Fortran/C loop nest and lower it to TyTra-IR")
+    Term.(const run $ src_arg $ sizes_arg $ lanes_opt $ ty_arg $ out_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "tybec" ~version:"1.0.0"
+       ~doc:"TyTra back-end compiler: cost models and code generation for \
+             FPGA design-space exploration")
+    [ check_cmd; cost_cmd; synth_cmd; sim_cmd; hdl_cmd; tb_cmd;
+      explore_cmd; import_cmd; bw_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

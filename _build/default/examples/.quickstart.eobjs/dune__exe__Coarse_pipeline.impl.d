@@ -1,0 +1,1 @@
+examples/coarse_pipeline.ml: Array Chain Eval Format Int64 List String Transform Tytra_cost Tytra_device Tytra_front Tytra_ir Tytra_sim

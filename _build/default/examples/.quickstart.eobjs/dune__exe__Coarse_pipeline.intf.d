@@ -1,0 +1,1 @@
+examples/coarse_pipeline.mli:

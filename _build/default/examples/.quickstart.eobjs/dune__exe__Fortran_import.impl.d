@@ -1,0 +1,1 @@
+examples/fortran_import.ml: Eval Expr Format Fortran List String Sys Transform Tytra_cost Tytra_dse Tytra_front Tytra_kernels

@@ -1,0 +1,1 @@
+examples/fortran_import.mli:

@@ -1,0 +1,1 @@
+examples/hotspot_pipeline.ml: Float Format Tytra_cost Tytra_device Tytra_front Tytra_ir Tytra_kernels Tytra_sim Unix

@@ -1,0 +1,1 @@
+examples/hotspot_pipeline.mli:

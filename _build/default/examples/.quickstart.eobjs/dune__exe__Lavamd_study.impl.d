@@ -1,0 +1,1 @@
+examples/lavamd_study.ml: Array Eval Expr Format List Lower Printf Transform Tytra_device Tytra_front Tytra_ir Tytra_kernels Tytra_sim

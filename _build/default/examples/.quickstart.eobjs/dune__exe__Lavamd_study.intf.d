@@ -1,0 +1,1 @@
+examples/lavamd_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eval Format List String Transform Tytra_cost Tytra_device Tytra_dse Tytra_front Tytra_hdl Tytra_ir Tytra_kernels

@@ -1,0 +1,1 @@
+examples/sor_exploration.ml: Filename Format List Lower Transform Tytra_cost Tytra_device Tytra_dse Tytra_front Tytra_hdl Tytra_kernels

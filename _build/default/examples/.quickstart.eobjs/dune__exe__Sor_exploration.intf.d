@@ -1,0 +1,1 @@
+examples/sor_exploration.mli:

@@ -1,0 +1,63 @@
+(* Hotspot: cost-model accuracy on one kernel — a single row of the
+   paper's Table II, reproduced end to end.
+
+   Lowers Rodinia's hotspot (integer version, 512×512 floorplan) to a
+   single kernel pipeline, then compares:
+     - the analytic cost model's resource estimate (fast path) against
+       the technology mapper's synthesis-grade figures (slow path), and
+     - the estimated cycles-per-kernel-instance against the cycle-level
+       simulation.
+
+   Run with:  dune exec examples/hotspot_pipeline.exe
+*)
+
+let pct est act =
+  if act = 0 then if est = 0 then 0.0 else 100.0
+  else 100.0 *. Float.abs (float_of_int (est - act)) /. float_of_int act
+
+let () =
+  let device = Tytra_device.Device.stratixv_gsd8 in
+  let program = Tytra_kernels.Hotspot.table2_program () in
+  let design = Tytra_front.Lower.lower program Tytra_front.Transform.Pipe in
+  Format.printf "hotspot (Rodinia), integer version, 512x512 grid@.";
+  Format.printf "config tree:@.%a@."
+    (fun fmt n -> Tytra_ir.Config_tree.pp_node fmt n)
+    (Tytra_ir.Config_tree.build design);
+
+  (* fast path: the analytic cost model *)
+  let t0 = Unix.gettimeofday () in
+  let est = Tytra_cost.Resource_model.estimate ~device design in
+  let inputs = Tytra_cost.Throughput.inputs_of_design ~device design in
+  let cpki_est =
+    Tytra_cost.Throughput.cpki Tytra_cost.Throughput.FormB inputs
+  in
+  let t_est = Unix.gettimeofday () -. t0 in
+
+  (* slow path: synthesis-grade elaboration + cycle-level simulation *)
+  let t0 = Unix.gettimeofday () in
+  let tm = Tytra_sim.Techmap.run ~device ~effort:`Full design in
+  let sim =
+    Tytra_sim.Cyclesim.run ~device ~fmax_mhz:tm.Tytra_sim.Techmap.tm_fmax_mhz
+      design
+  in
+  let t_act = Unix.gettimeofday () -. t0 in
+
+  let eu = est.Tytra_cost.Resource_model.est_usage in
+  let au = tm.Tytra_sim.Techmap.tm_usage in
+  let open Tytra_device.Resources in
+  Format.printf "@.            %12s %12s %8s@." "Estimated" "Actual" "%% err";
+  Format.printf "ALUT        %12d %12d %8.1f@." eu.aluts au.aluts
+    (pct eu.aluts au.aluts);
+  Format.printf "REG         %12d %12d %8.1f@." eu.regs au.regs
+    (pct eu.regs au.regs);
+  Format.printf "BRAM (bits) %12d %12d %8.1f@." eu.bram_bits au.bram_bits
+    (pct eu.bram_bits au.bram_bits);
+  Format.printf "DSP         %12d %12d %8.1f@." eu.dsps au.dsps
+    (pct eu.dsps au.dsps);
+  Format.printf "CPKI        %12.0f %12.0f %8.1f@." cpki_est
+    sim.Tytra_sim.Cyclesim.r_cycles_per_ki
+    (100.
+     *. Float.abs (cpki_est -. sim.Tytra_sim.Cyclesim.r_cycles_per_ki)
+     /. sim.Tytra_sim.Cyclesim.r_cycles_per_ki);
+  Format.printf "@.estimator: %.4f s;  synthesis+simulation: %.2f s (%.0fx)@."
+    t_est t_act (t_act /. Float.max 1e-9 t_est)

@@ -1,0 +1,1 @@
+lib/cost/fit.ml: Array Float Format List Printf String

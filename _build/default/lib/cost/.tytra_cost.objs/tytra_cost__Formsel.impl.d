@@ -1,0 +1,1 @@
+lib/cost/formsel.ml: Float Format List Printf Throughput Tytra_device Tytra_ir

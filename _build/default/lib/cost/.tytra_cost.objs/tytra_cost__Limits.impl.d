@@ -1,0 +1,1 @@
+lib/cost/limits.ml: Device Float Format List Resource_model Resources Throughput Tytra_device

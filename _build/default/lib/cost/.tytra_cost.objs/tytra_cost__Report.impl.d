@@ -1,0 +1,1 @@
+lib/cost/report.ml: Format Limits List Printf Resource_model String Throughput Tytra_device Tytra_ir

@@ -1,0 +1,1 @@
+lib/cost/resource_model.ml: Ast Config_tree Fit Float Format List Opinfo Ty Tytra_device Tytra_hdl Tytra_ir

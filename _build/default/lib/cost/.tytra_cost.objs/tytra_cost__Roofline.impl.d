@@ -1,0 +1,1 @@
+lib/cost/roofline.ml: Analysis Float Format List Throughput Tytra_device Tytra_ir

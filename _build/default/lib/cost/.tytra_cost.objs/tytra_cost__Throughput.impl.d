@@ -1,0 +1,1 @@
+lib/cost/throughput.ml: Analysis Ast Float Format List Ty Tytra_device Tytra_ir

@@ -1,0 +1,160 @@
+(** Least-squares fitting of resource-cost expressions from synthesis
+    experiments (paper §V-A, Fig 9).
+
+    "The regularity of FPGA fabric allows some very simple first or second
+    order expressions to be built up for most primitive instructions based
+    on a few experiments" — e.g. the quadratic trend-line for division
+    ALUTs was generated from three data points (18, 32 and 64 bits) and
+    interpolates 24 bits to 654 ALUTs against an actual usage of 652.
+
+    This module fits polynomials (normal equations + Gaussian elimination;
+    degrees 1–3 are all that the cost model needs) and piecewise-linear
+    curves with known breakpoints (the multiplier's DSP-tiling
+    discontinuities at multiples of 18 bits). *)
+
+(** A fitted polynomial: coefficients lowest-degree first. *)
+type poly = float array
+
+let eval (p : poly) (x : float) : float =
+  let acc = ref 0.0 and xn = ref 1.0 in
+  Array.iter
+    (fun c ->
+      acc := !acc +. (c *. !xn);
+      xn := !xn *. x)
+    p;
+  !acc
+
+let pp_poly fmt (p : poly) =
+  let terms =
+    Array.to_list p
+    |> List.mapi (fun i c ->
+        if i = 0 then Printf.sprintf "%.4g" c
+        else if i = 1 then Printf.sprintf "%.4gx" c
+        else Printf.sprintf "%.4gx^%d" c i)
+    |> List.rev
+  in
+  Format.pp_print_string fmt (String.concat " + " terms)
+
+(* Solve the linear system [a] x = [b] by Gaussian elimination with
+   partial pivoting. [a] is square, mutated in place. *)
+let solve (a : float array array) (b : float array) : float array =
+  let n = Array.length b in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+    done;
+    if !piv <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!piv);
+      a.(!piv) <- tmp;
+      let t = b.(col) in
+      b.(col) <- b.(!piv);
+      b.(!piv) <- t
+    end;
+    if Float.abs a.(col).(col) < 1e-12 then
+      invalid_arg "Fit.solve: singular system";
+    for r = col + 1 to n - 1 do
+      let f = a.(r).(col) /. a.(col).(col) in
+      for c = col to n - 1 do
+        a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+      done;
+      b.(r) <- b.(r) -. (f *. b.(col))
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for r = n - 1 downto 0 do
+    let s = ref b.(r) in
+    for c = r + 1 to n - 1 do
+      s := !s -. (a.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !s /. a.(r).(r)
+  done;
+  x
+
+(** [polyfit ~degree pts] — least-squares polynomial of [degree] through
+    [(x, y)] points. With exactly [degree + 1] points this is
+    interpolation (the paper's three-point quadratic). *)
+let polyfit ~degree (pts : (float * float) list) : poly =
+  let m = degree + 1 in
+  if List.length pts < m then
+    invalid_arg
+      (Printf.sprintf "Fit.polyfit: need at least %d points for degree %d" m
+         degree);
+  (* normal equations: (V^T V) c = V^T y *)
+  let a = Array.make_matrix m m 0.0 in
+  let b = Array.make m 0.0 in
+  List.iter
+    (fun (x, y) ->
+      let powers = Array.make (2 * m) 1.0 in
+      for i = 1 to (2 * m) - 1 do
+        powers.(i) <- powers.(i - 1) *. x
+      done;
+      for r = 0 to m - 1 do
+        for c = 0 to m - 1 do
+          a.(r).(c) <- a.(r).(c) +. powers.(r + c)
+        done;
+        b.(r) <- b.(r) +. (y *. powers.(r))
+      done)
+    pts;
+  solve a b
+
+(** Goodness of fit: coefficient of determination R². *)
+let r_squared (p : poly) (pts : (float * float) list) : float =
+  let n = float_of_int (List.length pts) in
+  if n = 0.0 then 0.0
+  else begin
+    let mean = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts /. n in
+    let ss_tot =
+      List.fold_left (fun a (_, y) -> a +. ((y -. mean) ** 2.0)) 0.0 pts
+    in
+    let ss_res =
+      List.fold_left (fun a (x, y) -> a +. ((y -. eval p x) ** 2.0)) 0.0 pts
+    in
+    if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot)
+  end
+
+(** A piecewise-linear curve: breakpoints partition the x axis; each
+    segment carries its own linear fit. *)
+type piecewise = { pw_breaks : float list; pw_segments : poly list }
+
+(** [piecewise_fit ~breaks pts] — fit a line per segment delimited by
+    [breaks] (e.g. DSP-tiling discontinuities at 18, 36, 54 bits). A
+    segment with a single point becomes a constant. *)
+let piecewise_fit ~(breaks : float list) (pts : (float * float) list) :
+    piecewise =
+  let breaks = List.sort compare breaks in
+  let segment_of x =
+    let rec go i = function
+      | [] -> i
+      | b :: tl -> if x <= b then i else go (i + 1) tl
+    in
+    go 0 breaks
+  in
+  let nseg = List.length breaks + 1 in
+  let buckets = Array.make nseg [] in
+  List.iter
+    (fun (x, y) ->
+      let s = segment_of x in
+      buckets.(s) <- (x, y) :: buckets.(s))
+    pts;
+  let segments =
+    Array.to_list
+      (Array.map
+         (fun pts ->
+           match pts with
+           | [] -> [| 0.0 |]
+           | [ (_, y) ] -> [| y |]
+           | pts -> polyfit ~degree:1 pts)
+         buckets)
+  in
+  { pw_breaks = breaks; pw_segments = segments }
+
+let piecewise_eval (pw : piecewise) (x : float) : float =
+  let rec go i = function
+    | [] -> i
+    | b :: tl -> if x <= b then i else go (i + 1) tl
+  in
+  let s = go 0 pw.pw_breaks in
+  eval (List.nth pw.pw_segments s) x

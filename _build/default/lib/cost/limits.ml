@@ -1,0 +1,115 @@
+(** Wall analysis: the performance-limiting parameter of a variant and
+    the lane counts at which each wall is hit (the annotated walls of
+    paper Fig 15).
+
+    "Our cost model also exposes the performance limiting parameter,
+    allowing targeted optimization and opening the route to a feedback
+    path in our compiler flow" (paper §I). *)
+
+(** Lane-count walls for a family of variants obtained by replicating one
+    pipeline lane. [None] means the wall is beyond any practical lane
+    count. *)
+type walls = {
+  w_host_lanes : float option;
+      (** lanes at which host bandwidth saturates (form A) *)
+  w_gmem_lanes : float option;
+      (** lanes at which device-DRAM bandwidth saturates (form B) *)
+  w_compute_lanes : float;
+      (** lanes at which the first FPGA resource is exhausted *)
+  w_binding_resource : string;
+      (** which resource class binds the compute wall *)
+}
+
+let pp_walls fmt w =
+  let o fmt' = function
+    | Some v -> Format.fprintf fmt' "%.1f" v
+    | None -> Format.pp_print_string fmt' "-"
+  in
+  Format.fprintf fmt "host wall @ %a lanes, gmem wall @ %a lanes, compute wall @ %.1f lanes (%s)"
+    o w.w_host_lanes o w.w_gmem_lanes w.w_compute_lanes w.w_binding_resource
+
+(** [walls ~device ~est ~inputs] — wall positions for the variant family
+    of a one-lane estimate [est] with throughput inputs [inputs] (taken
+    at one lane). A lane consumes [bytes_per_tuple · fd / cpt] bytes/s of
+    stream traffic; bandwidth walls sit where lanes × that rate meets
+    the sustained bandwidth. The compute wall sits where the marginal
+    per-lane usage exhausts the scarcest device resource. *)
+let walls ~(device : Tytra_device.Device.t)
+    ~(est : Resource_model.estimate) ~(inputs : Throughput.inputs) : walls =
+  let lane_bps =
+    inputs.Throughput.bytes_per_tuple *. inputs.Throughput.fd_hz
+    /. Float.max 1.0 inputs.Throughput.cpt
+  in
+  let host_sustained = inputs.Throughput.hpb *. inputs.Throughput.rho_h in
+  let gmem_sustained = inputs.Throughput.gpb *. inputs.Throughput.rho_g in
+  let bw_wall sustained =
+    if lane_bps <= 0.0 then None else Some (sustained /. lane_bps)
+  in
+  let pl = est.Resource_model.est_per_lane in
+  let base = est.Resource_model.est_usage in
+  let lanes_for avail per base_used =
+    if per <= 0 then infinity
+    else float_of_int (avail - base_used + per) /. float_of_int per
+  in
+  let open Tytra_device in
+  let cands =
+    [
+      ("ALUTs",
+       lanes_for device.Device.aluts pl.Resources.aluts base.Resources.aluts);
+      ("registers",
+       lanes_for device.Device.regs pl.Resources.regs base.Resources.regs);
+      ("BRAM",
+       lanes_for device.Device.bram_bits pl.Resources.bram_bits
+         base.Resources.bram_bits);
+      ("DSPs", lanes_for device.Device.dsps pl.Resources.dsps base.Resources.dsps);
+    ]
+  in
+  let binding, compute_wall =
+    List.fold_left
+      (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+      ("ALUTs", infinity) cands
+  in
+  {
+    w_host_lanes = bw_wall host_sustained;
+    w_gmem_lanes = bw_wall gmem_sustained;
+    w_compute_lanes = compute_wall;
+    w_binding_resource = binding;
+  }
+
+(** Resource-balancing hint (paper §VI-A: "other resources are
+    underutilized, and some sort of resource-balancing can lead to
+    further performance improvement"): the binding resource and the
+    headroom remaining in each other class at the compute wall. *)
+type balance_hint = {
+  bh_binding : string;
+  bh_headroom : (string * float) list;
+      (** fraction of each non-binding resource still free at the wall *)
+}
+
+let balance_hint ~(device : Tytra_device.Device.t)
+    ~(est : Resource_model.estimate) : balance_hint =
+  let open Tytra_device in
+  let u = Resources.utilization device est.Resource_model.est_usage in
+  let all =
+    [ ("ALUTs", u.Resources.ut_aluts); ("registers", u.Resources.ut_regs);
+      ("BRAM", u.Resources.ut_bram); ("DSPs", u.Resources.ut_dsps) ]
+  in
+  let binding =
+    fst
+      (List.fold_left
+         (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+         ("ALUTs", neg_infinity) all)
+  in
+  let scale =
+    match List.assoc_opt binding all with
+    | Some v when v > 0.0 -> 1.0 /. v
+    | _ -> 1.0
+  in
+  {
+    bh_binding = binding;
+    bh_headroom =
+      List.filter_map
+        (fun (n, v) ->
+          if n = binding then None else Some (n, 1.0 -. Float.min 1.0 (v *. scale)))
+        all;
+  }

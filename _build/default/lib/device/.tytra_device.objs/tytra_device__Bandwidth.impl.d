@@ -1,0 +1,1 @@
+lib/device/bandwidth.ml: Device Float List

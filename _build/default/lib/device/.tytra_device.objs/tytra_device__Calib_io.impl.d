@@ -1,0 +1,1 @@
+lib/device/calib_io.ml: Bandwidth Fun List Printf String

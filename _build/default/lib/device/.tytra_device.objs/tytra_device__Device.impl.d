@@ -1,0 +1,1 @@
+lib/device/device.ml: Float List Printf String

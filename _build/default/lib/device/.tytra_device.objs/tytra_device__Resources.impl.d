@@ -1,0 +1,1 @@
+lib/device/resources.ml: Device Float Format List

@@ -1,0 +1,150 @@
+(** Empirical sustained-bandwidth model (paper §V-C, Fig 10).
+
+    The peak bandwidths [HPB]/[GPB] come off the data-sheets, but the
+    bandwidth actually sustained by a stream depends strongly on its access
+    pattern and size — up to two orders of magnitude between contiguous and
+    strided access, and a pronounced size effect for contiguous access that
+    plateaus around 1000×1000 elements (paper Fig 10). The cost model
+    captures this with empirical scaling factors ρ (paper Table I: ρ_H,
+    ρ_G, "Evaluation method: Empirical data").
+
+    A calibration is a table of measured [(bytes, sustained bytes/s)]
+    points per access pattern, produced by the one-time streaming benchmark
+    ({!Tytra_streambench} regenerates it on the simulated platform);
+    lookups interpolate piecewise-linearly in [log bytes]. *)
+
+type point = { cal_bytes : float; cal_bps : float }
+
+type calib = {
+  cal_device : string;
+  cont : point list;     (** contiguous access, sorted by size *)
+  strided : point list;  (** constant-stride access *)
+  random : point list;   (** pseudo-random access (≈ strided, §V-C) *)
+}
+
+let sort_points l =
+  List.sort (fun a b -> compare a.cal_bytes b.cal_bytes) l
+
+let make ~device ~cont ~strided ~random =
+  {
+    cal_device = device;
+    cont = sort_points (List.map (fun (b, s) -> { cal_bytes = b; cal_bps = s }) cont);
+    strided =
+      sort_points (List.map (fun (b, s) -> { cal_bytes = b; cal_bps = s }) strided);
+    random =
+      sort_points (List.map (fun (b, s) -> { cal_bytes = b; cal_bps = s }) random);
+  }
+
+(* piecewise-linear interpolation in log-x space, clamped at both ends *)
+let interp (points : point list) (bytes : float) : float =
+  match points with
+  | [] -> invalid_arg "Bandwidth.interp: empty calibration"
+  | [ p ] -> p.cal_bps
+  | first :: _ ->
+      let rec go prev = function
+        | [] -> prev.cal_bps
+        | p :: tl ->
+            if bytes <= p.cal_bytes then
+              if bytes <= prev.cal_bytes || prev.cal_bytes = p.cal_bytes then
+                if prev == first && bytes < first.cal_bytes then first.cal_bps
+                else p.cal_bps
+              else begin
+                let lx = log bytes and l0 = log prev.cal_bytes
+                and l1 = log p.cal_bytes in
+                let t = (lx -. l0) /. (l1 -. l0) in
+                prev.cal_bps +. (t *. (p.cal_bps -. prev.cal_bps))
+              end
+            else go p tl
+      in
+      if bytes <= first.cal_bytes then first.cal_bps
+      else go first (List.tl points)
+
+(** [sustained calib pattern ~bytes] — predicted sustained bandwidth
+    (bytes/s) for a stream of [bytes] total with the given access
+    pattern. *)
+let sustained (c : calib) (pattern : [ `Cont | `Strided | `Random ]) ~bytes =
+  let pts =
+    match pattern with
+    | `Cont -> c.cont
+    | `Strided -> c.strided
+    | `Random -> if c.random = [] then c.strided else c.random
+  in
+  interp pts bytes
+
+(** [rho calib ~peak pattern ~bytes] — the scaling factor ρ = sustained /
+    peak used in the EKIT expressions (clamped to (0, 1]). *)
+let rho (c : calib) ~peak pattern ~bytes =
+  let s = sustained c pattern ~bytes in
+  Float.max 1e-6 (Float.min 1.0 (s /. peak))
+
+(** Host-link efficiency ρ_H: an analytic latency/size model — a transfer
+    of [bytes] sustains [eff · peak · bytes / (bytes + latency·peak)].
+    Small transfers are latency-dominated, large transfers approach
+    [link_eff · peak]. *)
+let rho_host (link : Device.link_cfg) ~bytes =
+  let b = Float.max 1.0 bytes in
+  let denom = b +. (link.link_latency_s *. link.link_peak_bps) in
+  Float.max 1e-6 (link.link_eff *. (b /. denom))
+
+let gbit = 1.0e9 /. 8.0 (* 1 Gbit/s in bytes/s *)
+
+(** Default calibration for the ADM-PCIE-7V3, transcribed from the paper's
+    Fig 10 (sustained Gbit/s vs the side of a square 2-D array of 32-bit
+    words; for strided access the stride equals the side). These are the
+    shipped "one-time benchmark experiment" results; `tytra_streambench`
+    regenerates the same curve family from the simulated platform
+    (experiment E2). *)
+let virtex7_default : calib =
+  let side_pts = [ 100.; 200.; 400.; 600.; 1000.; 1500.; 2000.; 2500.;
+                   3000.; 4000.; 5000.; 6000. ] in
+  let cont_gbps = [ 0.3; 1.2; 1.7; 2.4; 4.1; 5.2; 5.6; 5.8; 6.1; 6.2; 6.2; 6.3 ] in
+  let strided_sides = [ 100.; 500.; 1000.; 2000.; 3000.; 4000.; 6000. ] in
+  let strided_gbps = [ 0.04; 0.07; 0.07; 0.07; 0.07; 0.07; 0.07 ] in
+  let bytes side = side *. side *. 4.0 in
+  make ~device:"adm-pcie-7v3.virtex-7-690t"
+    ~cont:(List.map2 (fun s g -> (bytes s, g *. gbit)) side_pts cont_gbps)
+    ~strided:(List.map2 (fun s g -> (bytes s, g *. gbit)) strided_sides strided_gbps)
+    ~random:(List.map2 (fun s g -> (bytes s, g *. gbit *. 0.95)) strided_sides strided_gbps)
+
+(** Default calibration for the Maxeler Maia LMem. Maxeler's memory
+    controllers schedule long linear bursts, so contiguous streams sustain
+    a large fraction of peak; strided/random access still pays the
+    row-miss penalty. Plateau fractions follow Maxeler's published LMem
+    characteristics; the size roll-off mirrors the Fig 10 shape. *)
+let stratixv_default : calib =
+  let gpb = 38.4e9 in
+  let cont =
+    [ (4.0e4, 0.08 *. gpb); (1.6e5, 0.20 *. gpb); (1.0e6, 0.45 *. gpb);
+      (4.0e6, 0.62 *. gpb); (1.6e7, 0.70 *. gpb); (6.4e7, 0.72 *. gpb);
+      (2.5e8, 0.72 *. gpb) ]
+  in
+  let strided =
+    [ (4.0e4, 0.010 *. gpb); (1.0e6, 0.012 *. gpb); (1.6e7, 0.012 *. gpb);
+      (2.5e8, 0.012 *. gpb) ]
+  in
+  make ~device:"maxeler-maia.stratix-v-gsd8" ~cont ~strided
+    ~random:(List.map (fun (b, s) -> (b, 0.95 *. s)) strided)
+
+(** Default calibration for the Arria-10 board: a modern pipelined DDR4
+    controller sustains a high fraction of peak for contiguous streams and
+    a couple of percent for strided/random. *)
+let arria10_default : calib =
+  let gpb = 34.1e9 in
+  let cont =
+    [ (4.0e4, 0.15 *. gpb); (2.5e5, 0.40 *. gpb); (2.0e6, 0.65 *. gpb);
+      (1.6e7, 0.78 *. gpb); (1.0e8, 0.80 *. gpb); (5.0e8, 0.80 *. gpb) ]
+  in
+  let strided =
+    [ (4.0e4, 0.018 *. gpb); (2.0e6, 0.022 *. gpb); (1.0e8, 0.022 *. gpb) ]
+  in
+  make ~device:"nallatech-385a.arria-10-gx1150" ~cont ~strided
+    ~random:(List.map (fun (b, s) -> (b, 0.95 *. s)) strided)
+
+(** Calibration shipped for a device (the "one-time input for each unique
+    FPGA target" of paper Fig 2). *)
+let default_for (d : Device.t) : calib =
+  match d.Device.family with
+  | "virtex-7" -> virtex7_default
+  | "stratix-v" -> stratixv_default
+  | "arria-10" -> arria10_default
+  | _ -> virtex7_default

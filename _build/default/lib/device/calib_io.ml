@@ -1,0 +1,102 @@
+(** Persistence for bandwidth calibrations.
+
+    The cost-model use case (paper Fig 2) is: run a one-time set of
+    benchmark experiments for each FPGA target, keep the device-specific
+    costing parameters, feed them to the cost model thereafter. This
+    module is the "keep" step — a plain, diff-friendly text format:
+
+    {v
+    # tytra bandwidth calibration v1
+    device adm-pcie-7v3.virtex-7-690t
+    cont    40000      4.6875e+07
+    strided 1000000    8.75e+05
+    random  1000000    8.3e+05
+    v}
+
+    Columns: pattern, stream bytes, sustained bytes/s. *)
+
+let magic = "# tytra bandwidth calibration v1"
+
+(** [save path calib] — write [calib] to [path]. *)
+let save (path : string) (c : Bandwidth.calib) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n" magic;
+      Printf.fprintf oc "device %s\n" c.Bandwidth.cal_device;
+      let dump tag pts =
+        List.iter
+          (fun (p : Bandwidth.point) ->
+            Printf.fprintf oc "%s %.17g %.17g\n" tag p.Bandwidth.cal_bytes
+              p.Bandwidth.cal_bps)
+          pts
+      in
+      dump "cont" c.Bandwidth.cont;
+      dump "strided" c.Bandwidth.strided;
+      dump "random" c.Bandwidth.random)
+
+(** [load path] — read a calibration back. Returns [Error] with a
+    line-numbered message on malformed input. *)
+let load (path : string) : (Bandwidth.calib, string) result =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let device = ref "" in
+          let cont = ref [] and strided = ref [] and random = ref [] in
+          let err = ref None in
+          let lineno = ref 0 in
+          (try
+             let first = input_line ic in
+             incr lineno;
+             if String.trim first <> magic then
+               err := Some "not a tytra calibration file (bad header)";
+             while !err = None do
+               let l = input_line ic in
+               incr lineno;
+               let l = String.trim l in
+               if l = "" || (String.length l > 0 && l.[0] = '#') then ()
+               else
+                 match String.split_on_char ' ' l
+                       |> List.filter (fun s -> s <> "")
+                 with
+                 | [ "device"; name ] -> device := name
+                 | [ tag; bytes; bps ] -> (
+                     match
+                       (float_of_string_opt bytes, float_of_string_opt bps)
+                     with
+                     | Some b, Some s -> (
+                         let pt = (b, s) in
+                         match tag with
+                         | "cont" -> cont := pt :: !cont
+                         | "strided" -> strided := pt :: !strided
+                         | "random" -> random := pt :: !random
+                         | _ ->
+                             err :=
+                               Some
+                                 (Printf.sprintf "line %d: unknown pattern %S"
+                                    !lineno tag))
+                     | _ ->
+                         err :=
+                           Some
+                             (Printf.sprintf "line %d: malformed numbers"
+                                !lineno))
+                 | _ ->
+                     err :=
+                       Some (Printf.sprintf "line %d: malformed line" !lineno)
+             done
+           with End_of_file -> ());
+          match !err with
+          | Some e -> Error e
+          | None ->
+              if !cont = [] then Error "calibration has no contiguous points"
+              else
+                Ok
+                  (Bandwidth.make ~device:!device ~cont:(List.rev !cont)
+                     ~strided:(List.rev !strided) ~random:(List.rev !random)))
+
+let load_exn path =
+  match load path with Ok c -> c | Error e -> invalid_arg ("Calib_io: " ^ e)

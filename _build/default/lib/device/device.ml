@@ -1,0 +1,255 @@
+(** FPGA target descriptions.
+
+    The cost model takes a one-time "target description" per FPGA platform
+    (paper Fig 2): raw resource inventories and peak bandwidths come from
+    the architecture description (data-sheets), while the scaling factors
+    for sustained bandwidth come from one-time benchmark experiments
+    (paper Table I: "Architecture description" vs "Empirical data").
+
+    Two boards from the paper are described: the Maxeler Maia DFE
+    (Altera Stratix-V GSD8, used for the case study of §VII) and the
+    Alpha-Data ADM-PCIE-7V3 (Xilinx Virtex-7, used for the bandwidth
+    experiments of §V-C). *)
+
+(** DRAM timing/geometry parameters consumed by the cycle-level memory
+    simulator. A deliberately simple single-channel model: the interesting
+    behaviour for the cost model is the row-buffer locality gap between
+    contiguous and strided access. *)
+type dram_cfg = {
+  dram_clock_hz : float;      (** DRAM bus clock *)
+  bus_bytes : int;            (** data-bus width in bytes per beat *)
+  burst_beats : int;          (** beats per burst (BL8 → 8) *)
+  row_bytes : int;            (** row-buffer (page) size in bytes *)
+  t_rcd : int;                (** row activate latency, bus cycles *)
+  t_rp : int;                 (** precharge latency, bus cycles *)
+  t_cas : int;                (** column access latency, bus cycles *)
+  ctrl_overhead : int;        (** controller/arbitration cycles per merged
+                                  (contiguous) request *)
+  rt_nonmerged : int;         (** full round-trip cycles for a non-merged
+                                  (strided/random) single-element request *)
+  req_bytes : int;            (** bytes fetched per merged request *)
+  pipelined_reqs : bool;      (** controller overlaps successive requests
+                                  (Maxeler LMem yes; baseline SDAccel no) *)
+  launch_overhead_s : float;  (** kernel-launch / buffer-map overhead per
+                                  kernel-instance *)
+}
+
+(** Host link (PCIe) parameters. *)
+type link_cfg = {
+  link_peak_bps : float;      (** peak bytes/s *)
+  link_latency_s : float;     (** per-transfer setup latency, seconds *)
+  link_eff : float;           (** protocol efficiency (TLP overhead etc.) *)
+}
+
+(** Power-model parameters (used by the energy comparison, paper Fig 18:
+    "increase in power from the idle CPU power"). Dynamic terms are in
+    watts per unit resource at 100% toggle at [pw_ref_mhz]. *)
+type power_cfg = {
+  pw_static_w : float;        (** FPGA static power above board idle *)
+  pw_alut_w : float;          (** per used ALUT at reference clock *)
+  pw_reg_w : float;
+  pw_bram_block_w : float;
+  pw_dsp_w : float;
+  pw_dram_w_per_gbs : float;  (** DRAM interface W per GB/s moved *)
+  pw_link_w_per_gbs : float;  (** PCIe W per GB/s moved *)
+  pw_ref_mhz : float;
+}
+
+(** An FPGA platform: device + board + host link. *)
+type t = {
+  dev_name : string;
+  family : string;
+  (* resource inventory *)
+  aluts : int;
+  regs : int;
+  bram_bits : int;
+  bram_block_bits : int;      (** allocation granularity (M20K, BRAM36) *)
+  dsps : int;
+  (* clocks *)
+  fmax_base_mhz : float;      (** achievable kernel clock for a simple
+                                  pipeline; derated with utilization *)
+  (* bandwidths, bytes/s *)
+  hpb : float;                (** host–device peak bandwidth (paper: HPB) *)
+  gpb : float;                (** device-DRAM peak bandwidth (paper: GPB) *)
+  dram : dram_cfg;
+  link : link_cfg;
+  power : power_cfg;
+}
+
+(** Altera Stratix-V GSD8 on a Maxeler Maia DFE (paper §VII: 695K logic
+    elements; host link PCIe gen2 x8). *)
+let stratixv_gsd8 : t =
+  {
+    dev_name = "maxeler-maia.stratix-v-gsd8";
+    family = "stratix-v";
+    aluts = 524_800;
+    regs = 1_049_600;
+    bram_bits = 2_567 * 20_480;
+    bram_block_bits = 20_480;
+    dsps = 1_963;
+    fmax_base_mhz = 200.0;
+    hpb = 4.0e9;          (* PCIe gen2 x8 raw *)
+    gpb = 38.4e9;         (* Maia LMem peak *)
+    dram =
+      {
+        dram_clock_hz = 800.0e6;
+        bus_bytes = 48;   (* 6 × 64-bit DIMM channels, ganged *)
+        burst_beats = 8;
+        row_bytes = 8192;
+        t_rcd = 11;
+        t_rp = 11;
+        t_cas = 11;
+        ctrl_overhead = 2;
+        rt_nonmerged = 60;
+        req_bytes = 384;
+        pipelined_reqs = true;
+        launch_overhead_s = 30.0e-6;
+      };
+    link = { link_peak_bps = 4.0e9; link_latency_s = 2.0e-6; link_eff = 0.80 };
+    power =
+      {
+        pw_static_w = 9.0;
+        pw_alut_w = 18.0e-6;
+        pw_reg_w = 4.0e-6;
+        pw_bram_block_w = 1.5e-3;
+        pw_dsp_w = 3.0e-3;
+        pw_dram_w_per_gbs = 0.35;
+        pw_link_w_per_gbs = 0.6;
+        pw_ref_mhz = 200.0;
+      };
+  }
+
+(** Xilinx Virtex-7 690T on an Alpha-Data ADM-PCIE-7V3 (paper §V-C
+    bandwidth experiments, Fig 10). The DRAM parameters are set for the
+    *baseline, unoptimized* SDAccel access path the paper measured: one
+    outstanding 64-byte request per stream beat and no burst inference,
+    which is what produces the low absolute sustained-bandwidth plateau
+    (~6.3 Gbit/s) of Fig 10. *)
+let virtex7_690t : t =
+  {
+    dev_name = "adm-pcie-7v3.virtex-7-690t";
+    family = "virtex-7";
+    aluts = 433_200;
+    regs = 866_400;
+    bram_bits = 1_470 * 36_864;
+    bram_block_bits = 36_864;
+    dsps = 3_600;
+    fmax_base_mhz = 200.0;
+    hpb = 7.88e9;         (* PCIe gen3 x8 *)
+    gpb = 21.3e9;         (* 2 × DDR3-1333 SODIMM *)
+    dram =
+      {
+        dram_clock_hz = 666.0e6;
+        bus_bytes = 8;
+        burst_beats = 8;
+        row_bytes = 8192;
+        t_rcd = 9;
+        t_rp = 9;
+        t_cas = 9;
+        ctrl_overhead = 36; (* long unpipelined AXI path in the baseline *)
+        rt_nonmerged = 280;
+        req_bytes = 64;
+        pipelined_reqs = false;
+        launch_overhead_s = 2.0e-3;
+      };
+    link = { link_peak_bps = 7.88e9; link_latency_s = 1.5e-6; link_eff = 0.82 };
+    power =
+      {
+        pw_static_w = 8.0;
+        pw_alut_w = 16.0e-6;
+        pw_reg_w = 3.5e-6;
+        pw_bram_block_w = 1.8e-3;
+        pw_dsp_w = 2.5e-3;
+        pw_dram_w_per_gbs = 0.4;
+        pw_link_w_per_gbs = 0.6;
+        pw_ref_mhz = 200.0;
+      };
+  }
+
+(** Intel Arria 10 GX 1150 on a Nallatech-385A-class board — a third
+    target beyond the paper's two, for cross-device exploration: more
+    logic and a faster base clock than the Stratix-V, PCIe gen3, DDR4
+    with a well-behaved (pipelined) memory controller. *)
+let arria10_gx1150 : t =
+  {
+    dev_name = "nallatech-385a.arria-10-gx1150";
+    family = "arria-10";
+    aluts = 854_400;
+    regs = 1_708_800;
+    bram_bits = 2_713 * 20_480;
+    bram_block_bits = 20_480;
+    dsps = 1_518;
+    fmax_base_mhz = 240.0;
+    hpb = 7.88e9;
+    gpb = 34.1e9;
+    dram =
+      {
+        dram_clock_hz = 1066.0e6;
+        bus_bytes = 16;
+        burst_beats = 8;
+        row_bytes = 8192;
+        t_rcd = 14;
+        t_rp = 14;
+        t_cas = 14;
+        ctrl_overhead = 3;
+        rt_nonmerged = 80;
+        req_bytes = 256;
+        pipelined_reqs = true;
+        launch_overhead_s = 50.0e-6;
+      };
+    link = { link_peak_bps = 7.88e9; link_latency_s = 1.2e-6; link_eff = 0.85 };
+    power =
+      {
+        pw_static_w = 11.0;
+        pw_alut_w = 14.0e-6;
+        pw_reg_w = 3.0e-6;
+        pw_bram_block_w = 1.4e-3;
+        pw_dsp_w = 2.8e-3;
+        pw_dram_w_per_gbs = 0.30;
+        pw_link_w_per_gbs = 0.55;
+        pw_ref_mhz = 240.0;
+      };
+  }
+
+(** Host CPU description for the case-study baseline (paper §VII: Intel
+    i7 quad-core at 1.6 GHz, Fortran compiled with [gcc -O2]). *)
+type cpu = {
+  cpu_name : string;
+  cpu_freq_hz : float;
+  cpu_cores : int;
+  cpu_ipc : float;            (** sustained scalar ops/cycle for stencil code *)
+  cpu_mem_bw : float;         (** sustained memory bandwidth, bytes/s *)
+  cpu_idle_w : float;
+  cpu_active_w : float;       (** package power above idle when computing *)
+}
+
+let host_i7 : cpu =
+  {
+    cpu_name = "intel-i7-quad-1.6GHz";
+    cpu_freq_hz = 1.6e9;
+    cpu_cores = 4;
+    cpu_ipc = 1.6;
+    cpu_mem_bw = 12.0e9;
+    cpu_idle_w = 35.0;
+    cpu_active_w = 42.0;
+  }
+
+(** Registry of known targets, for the CLI. *)
+let all = [ stratixv_gsd8; virtex7_690t; arria10_gx1150 ]
+
+let find name = List.find_opt (fun d -> d.dev_name = name) all
+
+let find_exn name =
+  match find name with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown device %S (known: %s)" name
+           (String.concat ", " (List.map (fun d -> d.dev_name) all)))
+
+(** Utilization-dependent clock derating: dense designs close timing at
+    lower clocks. A mild linear derate, floored at 60% of base. *)
+let fmax_mhz (d : t) ~alut_util =
+  let u = Float.max 0.0 (Float.min 1.0 alut_util) in
+  let derate = 1.0 -. (0.4 *. u) in
+  Float.max (0.6 *. d.fmax_base_mhz) (d.fmax_base_mhz *. derate)

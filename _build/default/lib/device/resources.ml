@@ -1,0 +1,80 @@
+(** Resource usage vectors, shared between the analytic cost model
+    (estimates) and the technology mapper (actuals). *)
+
+type usage = {
+  aluts : int;
+  regs : int;
+  bram_bits : int;
+  bram_blocks : int;
+  dsps : int;
+}
+
+let zero = { aluts = 0; regs = 0; bram_bits = 0; bram_blocks = 0; dsps = 0 }
+
+let add a b =
+  {
+    aluts = a.aluts + b.aluts;
+    regs = a.regs + b.regs;
+    bram_bits = a.bram_bits + b.bram_bits;
+    bram_blocks = a.bram_blocks + b.bram_blocks;
+    dsps = a.dsps + b.dsps;
+  }
+
+let scale k a =
+  {
+    aluts = k * a.aluts;
+    regs = k * a.regs;
+    bram_bits = k * a.bram_bits;
+    bram_blocks = k * a.bram_blocks;
+    dsps = k * a.dsps;
+  }
+
+let sum l = List.fold_left add zero l
+
+(** Fractional utilization of each resource class on device [d]; BRAM is
+    measured in bits against the device's total bits. *)
+type utilization = {
+  ut_aluts : float;
+  ut_regs : float;
+  ut_bram : float;
+  ut_dsps : float;
+}
+
+let utilization (d : Device.t) (u : usage) : utilization =
+  let f a b = if b = 0 then 0.0 else Float.of_int a /. Float.of_int b in
+  {
+    ut_aluts = f u.aluts d.Device.aluts;
+    ut_regs = f u.regs d.Device.regs;
+    ut_bram = f u.bram_bits d.Device.bram_bits;
+    ut_dsps = f u.dsps d.Device.dsps;
+  }
+
+(** The utilization of the scarcest resource — what the "computation wall"
+    of the paper's Fig 15 is measured against. *)
+let max_utilization (d : Device.t) (u : usage) : float =
+  let x = utilization d u in
+  Float.max (Float.max x.ut_aluts x.ut_regs) (Float.max x.ut_bram x.ut_dsps)
+
+(** The name of the binding resource class. *)
+let binding_resource (d : Device.t) (u : usage) : string =
+  let x = utilization d u in
+  let cands =
+    [ ("ALUTs", x.ut_aluts); ("registers", x.ut_regs); ("BRAM", x.ut_bram);
+      ("DSPs", x.ut_dsps) ]
+  in
+  fst (List.fold_left (fun (bn, bv) (n, v) ->
+      if v > bv then (n, v) else (bn, bv))
+      ("ALUTs", neg_infinity) cands)
+
+(** [fits d u] — does usage [u] fit on device [d]? *)
+let fits (d : Device.t) (u : usage) : bool = max_utilization d u <= 1.0
+
+let pp fmt u =
+  Format.fprintf fmt
+    "ALUTs=%d REGs=%d BRAM=%d bits (%d blocks) DSPs=%d" u.aluts u.regs
+    u.bram_bits u.bram_blocks u.dsps
+
+let pp_utilization fmt (x : utilization) =
+  Format.fprintf fmt "ALUT %.1f%% REG %.1f%% BRAM %.1f%% DSP %.1f%%"
+    (100. *. x.ut_aluts) (100. *. x.ut_regs) (100. *. x.ut_bram)
+    (100. *. x.ut_dsps)

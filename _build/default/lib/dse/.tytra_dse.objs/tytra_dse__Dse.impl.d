@@ -1,0 +1,1 @@
+lib/dse/dse.ml: Expr Format List Lower Transform Tytra_cost Tytra_device Tytra_front Tytra_ir

@@ -1,0 +1,128 @@
+(** Design-space exploration: generate variants by type transformation,
+    lower each to TyTra-IR, cost it, and select — "the compiler costs the
+    variants" of paper Fig 1, with the selection policy of §VI-A: as many
+    lanes as the resources allow, or until the IO bandwidth saturates. *)
+
+open Tytra_front
+
+(** One evaluated design point. *)
+type point = {
+  dp_variant : Transform.variant;
+  dp_design : Tytra_ir.Ast.design;
+  dp_report : Tytra_cost.Report.t;
+}
+
+let ekit (p : point) = p.dp_report.Tytra_cost.Report.rp_breakdown.Tytra_cost.Throughput.bd_ekit
+let valid (p : point) = p.dp_report.Tytra_cost.Report.rp_valid
+
+(** [explore ?device ?calib ?form ?nki ?max_lanes ?max_vec prog] —
+    enumerate the reshaping design space of [prog], lower every variant
+    and run the full cost model on each. This is the fast evaluation loop
+    whose per-variant latency the paper benchmarks at ~0.3 s (we measure
+    it in experiment E5). *)
+let explore ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
+    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16)
+    ?(max_vec = 1) (prog : Expr.program) : point list =
+  Transform.enumerate ~max_lanes ~max_vec prog
+  |> List.map (fun v ->
+      let d = Lower.lower prog v in
+      let report = Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d in
+      { dp_variant = v; dp_design = d; dp_report = report })
+
+(** [best points] — the highest-EKIT variant among those that fit the
+    device (the automated selection of Fig 1's "Selected Variant-X"). *)
+let best (points : point list) : point option =
+  List.fold_left
+    (fun acc p ->
+      if not (valid p) then acc
+      else
+        match acc with
+        | None -> Some p
+        | Some b -> if ekit p > ekit b then Some p else acc)
+    None points
+
+(** [pareto points] — the EKIT/ALUT Pareto front: no retained point is
+    beaten on both throughput and area by another valid point. *)
+let pareto (points : point list) : point list =
+  let area p =
+    p.dp_report.Tytra_cost.Report.rp_estimate.Tytra_cost.Resource_model.est_usage
+      .Tytra_device.Resources.aluts
+  in
+  let valid_pts = List.filter valid points in
+  List.filter
+    (fun p ->
+      not
+        (List.exists
+           (fun q ->
+             q != p
+             && ekit q >= ekit p
+             && area q <= area p
+             && (ekit q > ekit p || area q < area p))
+           valid_pts))
+    valid_pts
+
+(** Guided search (the "targeted optimization" of paper §I): follow the
+    limiting parameter. Starting from the baseline pipe, double lanes
+    while compute-limited and the next variant still fits; stop at a
+    bandwidth wall (more lanes cannot help) or the resource wall. Returns
+    the visited points in order — a trace of the feedback loop. *)
+let guided ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
+    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 64)
+    (prog : Expr.program) : point list =
+  let eval v =
+    let d = Lower.lower prog v in
+    let report = Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d in
+    { dp_variant = v; dp_design = d; dp_report = report }
+  in
+  let applicable l = Transform.applicable prog (Transform.ParPipe l) in
+  let rec go acc lanes =
+    let v = if lanes = 1 then Transform.Pipe else Transform.ParPipe lanes in
+    let p = eval v in
+    let acc = p :: acc in
+    let limited_by_compute =
+      p.dp_report.Tytra_cost.Report.rp_breakdown.Tytra_cost.Throughput.bd_limiter
+      = Tytra_cost.Throughput.Compute
+    in
+    let next = lanes * 2 in
+    if
+      limited_by_compute && valid p && next <= max_lanes && applicable next
+    then go acc next
+    else List.rev acc
+  in
+  go [] 1
+
+(** Cross-device exploration: evaluate the variant space on every known
+    target and return per-device results plus the overall best
+    (device, point) — "performance portability" made concrete: the same
+    high-level program, retargeted by swapping the one-time device
+    description and calibration. *)
+let explore_devices ?(devices = Tytra_device.Device.all)
+    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16)
+    (prog : Expr.program) :
+    (Tytra_device.Device.t * point list) list
+    * (Tytra_device.Device.t * point) option =
+  let per_device =
+    List.map
+      (fun device -> (device, explore ~device ~form ~nki ~max_lanes prog))
+      devices
+  in
+  let best_overall =
+    List.fold_left
+      (fun acc (device, pts) ->
+        match best pts with
+        | None -> acc
+        | Some b -> (
+            match acc with
+            | None -> Some (device, b)
+            | Some (_, prev) -> if ekit b > ekit prev then Some (device, b) else acc))
+      None per_device
+  in
+  (per_device, best_overall)
+
+let pp_point fmt (p : point) =
+  Format.fprintf fmt "%-16s EKIT=%10.3g  %s  %s"
+    (Transform.to_string p.dp_variant)
+    (ekit p)
+    (if valid p then "fits " else "OVER ")
+    (Tytra_cost.Throughput.limiter_to_string
+       p.dp_report.Tytra_cost.Report.rp_breakdown.Tytra_cost.Throughput.bd_limiter)

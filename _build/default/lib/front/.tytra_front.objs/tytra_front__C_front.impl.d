@@ -1,0 +1,1 @@
+lib/front/c_front.ml: Expr Filename Fortran Fun Int64 List Printf String Tytra_ir

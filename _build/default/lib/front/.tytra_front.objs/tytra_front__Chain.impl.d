@@ -1,0 +1,1 @@
+lib/front/chain.ml: Array Ast Builder Eval Expr List Lower Printf Result Transform Ty Tytra_ir Validate

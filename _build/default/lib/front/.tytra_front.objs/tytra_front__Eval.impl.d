@@ -1,0 +1,1 @@
+lib/front/eval.ml: Array Ast Expr Int64 Interp List Printf Transform Ty Tytra_ir

@@ -1,0 +1,1 @@
+lib/front/expr.ml: Ast Hashtbl Int64 List Printf Ty Tytra_ir Vtype

@@ -1,0 +1,1 @@
+lib/front/fortran.ml: Expr Filename Fun Int64 List Printf String Tytra_ir

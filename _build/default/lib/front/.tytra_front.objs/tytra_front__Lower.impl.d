@@ -1,0 +1,1 @@
+lib/front/lower.ml: Array Ast Builder Expr Hashtbl List Printf Transform Ty Tytra_ir Validate

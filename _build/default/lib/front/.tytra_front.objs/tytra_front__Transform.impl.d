@@ -1,0 +1,1 @@
+lib/front/transform.ml: Array Expr List Printf Result Vtype

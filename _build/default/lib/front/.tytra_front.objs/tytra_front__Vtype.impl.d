@@ -1,0 +1,1 @@
+lib/front/vtype.ml: Format List Printf Tytra_ir

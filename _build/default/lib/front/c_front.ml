@@ -1,0 +1,380 @@
+(** Legacy C-style front end — the "or C" half of the paper's plan to
+    "include legacy code written in languages typically used for
+    scientific computing like Fortran or C".
+
+    Accepts the canonical C rendering of the same loop-nest subset the
+    Fortran front end handles:
+
+    {v
+    #define OMEGA 1
+    for (k = 0; k < KM; k++) {
+      for (j = 0; j < JM; j++) {
+        for (i = 0; i < IM; i++) {
+          reltmp = OMEGA * (p[k][j][i+1] + p[k][j][i-1]) - rhs[k][j][i];
+          p_new[k][j][i] = p[k][j][i] + reltmp;
+          sorerr += reltmp * reltmp;
+        }
+      }
+    }
+    v}
+
+    Differences from the Fortran subset, handled here:
+    - row-major arrays: the {e last} subscript is the fastest
+      (outermost-first subscript order);
+    - zero-based loops [for (v = 0; v < N; v++)], optionally with an
+      [int] declaration in the initializer;
+    - [#define NAME literal] for scalar parameters;
+    - [acc += e] / [acc = fmax(acc, e)] reductions ([fmin]/[fmax]/
+      [fabs]/[abs]/[sqrt]/[sqrtf] intrinsics map to the DSL's);
+    - [//] and [/* */] comments; statements end with [;].
+
+    The surface statements elaborate through the same
+    {!Fortran.elaborate} machinery, so both legacy front ends share one
+    (tested) semantics. *)
+
+exception Error = Fortran.Error
+
+type tok =
+  | Id of string
+  | Int of int
+  | Real of float
+  | Punct of string  (** one of: + - * / ( ) [ ] { } ; , = += < ++ # *)
+  | Eof
+
+let tok_str = function
+  | Id s -> s
+  | Int i -> string_of_int i
+  | Real f -> string_of_float f
+  | Punct p -> p
+  | Eof -> "<eof>"
+
+let is_al c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_dig c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : (tok * int) list =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = out := (t, !line) :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin do
+        if !i + 1 >= n then raise (Error ("unterminated comment", !line));
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          fin := true;
+          i := !i + 2
+        end
+        else incr i
+      done
+    end
+    else if c = '+' && !i + 1 < n && src.[!i + 1] = '=' then
+      (push (Punct "+="); i := !i + 2)
+    else if c = '+' && !i + 1 < n && src.[!i + 1] = '+' then
+      (push (Punct "++"); i := !i + 2)
+    else if String.contains "+-*/()[]{};,=<#" c then
+      (push (Punct (String.make 1 c)); incr i)
+    else if is_dig c then begin
+      let start = !i in
+      while !i < n && is_dig src.[!i] do incr i done;
+      if !i < n && src.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_dig src.[!i] do incr i done;
+        (if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+           incr i;
+           if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+           while !i < n && is_dig src.[!i] do incr i done
+         end);
+        (if !i < n && (src.[!i] = 'f' || src.[!i] = 'F') then incr i);
+        push (Real (float_of_string
+                      (String.sub src start (!i - start)
+                       |> String.map (fun c -> if c = 'f' || c = 'F' then ' ' else c)
+                       |> String.trim)))
+      end
+      else push (Int (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_al c then begin
+      let start = !i in
+      while !i < n && (is_al src.[!i] || is_dig src.[!i]) do incr i done;
+      push (Id (String.sub src start (!i - start)))
+    end
+    else raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+  done;
+  push Eof;
+  List.rev !out
+
+type state = { mutable toks : (tok * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Eof
+let line_of st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let advance st = match st.toks with _ :: tl -> st.toks <- tl | [] -> ()
+let err st msg = raise (Error (msg, line_of st))
+
+let expect st p =
+  if peek st = Punct p then advance st
+  else err st (Printf.sprintf "expected %S, found %s" p (tok_str (peek st)))
+
+let expect_id st =
+  match peek st with
+  | Id s -> advance st; s
+  | t -> err st ("expected identifier, found " ^ tok_str t)
+
+(* intrinsic renaming: C math names → DSL intrinsics *)
+let intrinsic = function
+  | "fmin" | "min" -> Some "min"
+  | "fmax" | "max" -> Some "max"
+  | "fabs" | "abs" -> Some "abs"
+  | "sqrt" | "sqrtf" -> Some "sqrt"
+  | _ -> None
+
+(* expressions produce the Fortran front end's surface AST *)
+let rec parse_expr st = parse_add st
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let rec go () =
+    match peek st with
+    | Punct "+" ->
+        advance st;
+        lhs := Fortran.FBin (Tytra_ir.Ast.Add, !lhs, parse_mul st);
+        go ()
+    | Punct "-" ->
+        advance st;
+        lhs := Fortran.FBin (Tytra_ir.Ast.Sub, !lhs, parse_mul st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    match peek st with
+    | Punct "*" ->
+        advance st;
+        lhs := Fortran.FBin (Tytra_ir.Ast.Mul, !lhs, parse_unary st);
+        go ()
+    | Punct "/" ->
+        advance st;
+        lhs := Fortran.FBin (Tytra_ir.Ast.Div, !lhs, parse_unary st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Punct "-" -> advance st; Fortran.FNeg (parse_unary st)
+  | Punct "+" -> advance st; parse_unary st
+  | _ -> parse_postfix st
+
+and parse_index st : string * int =
+  (* [v], [v+c], [v-c] *)
+  let v = expect_id st in
+  let off =
+    match peek st with
+    | Punct "+" -> (
+        advance st;
+        match peek st with
+        | Int k -> advance st; k
+        | t -> err st ("expected constant offset, found " ^ tok_str t))
+    | Punct "-" -> (
+        advance st;
+        match peek st with
+        | Int k -> advance st; -k
+        | t -> err st ("expected constant offset, found " ^ tok_str t))
+    | _ -> 0
+  in
+  expect st "]";
+  (v, off)
+
+and parse_postfix st =
+  match peek st with
+  | Int v -> advance st; Fortran.FNum (Int64.of_int v)
+  | Real f -> advance st; Fortran.FReal f
+  | Punct "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect st ")";
+      e
+  | Id name -> (
+      advance st;
+      match peek st with
+      | Punct "[" ->
+          let rec dims acc =
+            match peek st with
+            | Punct "[" ->
+                advance st;
+                dims (parse_index st :: acc)
+            | _ -> List.rev acc
+          in
+          Fortran.FArr (name, dims [])
+      | Punct "(" -> (
+          advance st;
+          match intrinsic name with
+          | Some fn ->
+              let rec args acc =
+                let a = parse_expr st in
+                match peek st with
+                | Punct "," -> advance st; args (a :: acc)
+                | Punct ")" -> advance st; List.rev (a :: acc)
+                | t -> err st ("expected , or ) in call, found " ^ tok_str t)
+              in
+              Fortran.FCall (fn, args [])
+          | None -> err st (Printf.sprintf "unsupported function %S" name))
+      | _ -> Fortran.FName name)
+  | t -> err st ("expected expression, found " ^ tok_str t)
+
+let parse_stmt st : Fortran.stmt =
+  let name = expect_id st in
+  match peek st with
+  | Punct "[" ->
+      let rec dims acc =
+        match peek st with
+        | Punct "[" -> advance st; dims (parse_index st :: acc)
+        | _ -> List.rev acc
+      in
+      let idxs = dims [] in
+      expect st "=";
+      let rhs = parse_expr st in
+      expect st ";";
+      Fortran.SAssign (name, Some idxs, rhs)
+  | Punct "+=" ->
+      advance st;
+      let rhs = parse_expr st in
+      expect st ";";
+      (* desugar into the accumulator pattern the elaborator recognises *)
+      Fortran.SAssign
+        (name, None, Fortran.FBin (Tytra_ir.Ast.Add, Fortran.FName name, rhs))
+  | Punct "=" ->
+      advance st;
+      let rhs = parse_expr st in
+      expect st ";";
+      Fortran.SAssign (name, None, rhs)
+  | t -> err st ("expected assignment, found " ^ tok_str t)
+
+(* for (v = 0; v < bound; v++) {   — 'for' consumed by caller *)
+let parse_for_header st : string * Fortran.string_or_int =
+  expect st "(";
+  (match peek st with Id "int" -> advance st | _ -> ());
+  let v = expect_id st in
+  expect st "=";
+  (match peek st with
+  | Int 0 -> advance st
+  | t -> err st ("loop must start at 0, found " ^ tok_str t));
+  expect st ";";
+  let v2 = expect_id st in
+  if v2 <> v then err st "loop condition must test the loop variable";
+  expect st "<";
+  let hi =
+    match peek st with
+    | Int b -> advance st; Fortran.Sint b
+    | Id s -> advance st; Fortran.Sname s
+    | t -> err st ("expected loop bound, found " ^ tok_str t)
+  in
+  expect st ";";
+  let v3 = expect_id st in
+  if v3 <> v then err st "loop increment must bump the loop variable";
+  expect st "++";
+  expect st ")";
+  expect st "{";
+  (v, hi)
+
+(** [parse ?ty ?name ~sizes src] — parse a C-style loop nest. [sizes]
+    resolves symbolic loop bounds (matched case-sensitively, e.g.
+    [("KM", 16)]). *)
+let parse ?(ty = Tytra_ir.Ty.UInt 18) ?(name = "legacy_c")
+    ~(sizes : (string * int) list) (src : string) : Expr.program =
+  let st = { toks = tokenize src } in
+  (* #define headers *)
+  let params = ref [] in
+  let rec header () =
+    match peek st with
+    | Punct "#" -> (
+        advance st;
+        match peek st with
+        | Id "define" ->
+            advance st;
+            let n = expect_id st in
+            let v =
+              match peek st with
+              | Int v -> advance st; Fortran.FNum (Int64.of_int v)
+              | Real f -> advance st; Fortran.FReal f
+              | Punct "-" -> (
+                  advance st;
+                  match peek st with
+                  | Int v -> advance st; Fortran.FNum (Int64.of_int (-v))
+                  | Real f -> advance st; Fortran.FReal (-.f)
+                  | t -> err st ("expected literal, found " ^ tok_str t))
+              | t -> err st ("expected literal, found " ^ tok_str t)
+            in
+            params := (n, v) :: !params;
+            header ()
+        | t -> err st ("expected 'define', found " ^ tok_str t))
+    | _ -> ()
+  in
+  header ();
+  (* the nest *)
+  let rec parse_nest acc =
+    match peek st with
+    | Id "for" ->
+        advance st;
+        let v, hi = parse_for_header st in
+        parse_nest ((v, hi) :: acc)
+    | _ ->
+        let rec stmts sacc =
+          match peek st with
+          | Punct "}" -> List.rev sacc
+          | Eof -> err st "unexpected end of input inside loop body"
+          | _ -> stmts (parse_stmt st :: sacc)
+        in
+        (List.rev acc, stmts [])
+  in
+  let nest, body = parse_nest [] in
+  if nest = [] then err st "expected a for loop";
+  if List.length nest > 3 then
+    raise (Error ("loop nests deeper than 3 are not supported", 0));
+  (* closing braces, one per loop *)
+  List.iter (fun _ -> expect st "}") nest;
+  (match peek st with
+  | Eof -> ()
+  | t -> err st ("trailing input after the loop nest: " ^ tok_str t));
+  let extent = function
+    | Fortran.Sint v -> v
+    | Fortran.Sname s -> (
+        match List.assoc_opt s sizes with
+        | Some v -> v
+        | None -> raise (Error (Printf.sprintf "unknown size name %S" s, 0)))
+  in
+  let dims = List.map (fun (v, hi) -> (v, extent hi)) nest in
+  let params =
+    List.rev_map (fun (n, e) -> (n, Fortran.lit_value ty e)) !params
+  in
+  (* C arrays are row-major: subscripts run outermost-first *)
+  Fortran.elaborate ~ty ~name ~params ~dims
+    ~index_order:(List.map fst dims)
+    body
+
+(** As {!parse}, reading from a file. *)
+let parse_file ?ty ?name ~sizes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let src = really_input_string ic (in_channel_length ic) in
+      let name =
+        match name with
+        | Some n -> n
+        | None -> Filename.remove_extension (Filename.basename path)
+      in
+      parse ?ty ~name ~sizes src)

@@ -1,0 +1,147 @@
+(** Reference evaluator for the functional DSL — the semantics against
+    which correct-by-construction variant generation is verified.
+
+    Values are carried as [int64]; for float-typed kernels the bits are an
+    IEEE-754 double ([Int64.bits_of_float]). Integer arithmetic wraps
+    modulo the scalar type's width, matching the hardware datapath (and
+    the IR interpreter in [tytra_ir]). Stencil accesses outside the index
+    space read 0 (edge padding, as the generated stream hardware does).
+
+    {!run_variant} evaluates a reshaped/annotated variant by processing
+    its lanes chunk-by-chunk in lane-major order. Because reshaping is
+    order- and size-preserving, its observable behaviour must equal
+    {!run_baseline} — the property the test suite checks with qcheck. *)
+
+open Tytra_ir
+
+type env = (string * int64 array) list
+
+type result = {
+  outputs : (string * int64 array) list;
+  reductions : (string * int64) list;
+}
+
+let of_f f = Int64.bits_of_float f
+
+(** Scalar operation semantics — shared with the IR interpreter
+    ({!Tytra_ir.Interp.apply_op}), so the functional evaluator and lowered
+    designs agree by construction. *)
+let apply_op = Interp.apply_op
+
+(* evaluate the kernel expression at flat index [i] *)
+let rec eval_expr (k : Expr.kernel) (env : env) (n : int) (i : int)
+    (e : Expr.expr) : int64 =
+  let ty = k.Expr.k_ty in
+  let stream s =
+    match List.assoc_opt s env with
+    | Some a -> a
+    | None -> invalid_arg (Printf.sprintf "Eval: missing input stream %S" s)
+  in
+  match e with
+  | Expr.Input s ->
+      let a = stream s in
+      if i < Array.length a then a.(i) else 0L
+  | Expr.Stencil (s, off) ->
+      let a = stream s in
+      let j = i + off in
+      if j >= 0 && j < n && j < Array.length a then a.(j) else 0L
+  | Expr.Param p -> (
+      match List.assoc_opt p k.Expr.k_params with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Eval: missing parameter %S" p))
+  | Expr.ConstI v -> Ty.mask ty v
+  | Expr.ConstF f -> of_f f
+  | Expr.Bin (op, a, b) ->
+      apply_op ty op [ eval_expr k env n i a; eval_expr k env n i b ]
+  | Expr.Un (op, a) -> apply_op ty op [ eval_expr k env n i a ]
+  | Expr.Select (c, a, b) ->
+      apply_op ty Ast.Select
+        [ eval_expr k env n i c; eval_expr k env n i a; eval_expr k env n i b ]
+
+let eval_point (k : Expr.kernel) (env : env) (n : int) (i : int) :
+    (string * int64) list * (string * int64) list =
+  ( List.map (fun (o : Expr.output) ->
+        (o.Expr.o_name, eval_expr k env n i o.Expr.o_expr))
+      k.Expr.k_outputs,
+    List.map (fun (r : Expr.reduction) ->
+        (r.Expr.r_name, eval_expr k env n i r.Expr.r_expr))
+      k.Expr.k_reductions )
+
+(** [run_baseline p env] — evaluate [map kernel] over the whole index
+    space in order: the paper's baseline single-pipeline semantics. *)
+let run_baseline (p : Expr.program) (env : env) : result =
+  let k = p.Expr.p_kernel in
+  let n = Expr.points p in
+  let outs =
+    List.map (fun (o : Expr.output) -> (o.Expr.o_name, Array.make n 0L))
+      k.Expr.k_outputs
+  in
+  let reds =
+    List.map (fun (r : Expr.reduction) -> (r.Expr.r_name, ref r.Expr.r_init))
+      k.Expr.k_reductions
+  in
+  for i = 0 to n - 1 do
+    let ovals, rvals = eval_point k env n i in
+    List.iter (fun (nm, v) -> (List.assoc nm outs).(i) <- v) ovals;
+    List.iter
+      (fun (r : Expr.reduction) ->
+        let acc = List.assoc r.Expr.r_name reds in
+        let v = List.assoc r.Expr.r_name rvals in
+        acc := apply_op k.Expr.k_ty r.Expr.r_op [ v; !acc ])
+      k.Expr.k_reductions
+  done;
+  {
+    outputs = List.map (fun (n', a) -> (n', a)) outs;
+    reductions = List.map (fun (n', r) -> (n', !r)) reds;
+  }
+
+(** [run_variant p v env] — evaluate the reshaped/annotated variant:
+    lanes process their contiguous chunks; per-lane reduction partials
+    combine lane-major. Must equal {!run_baseline} for any applicable
+    variant (modulo reduction reassociation, which is exact for the
+    integer kernels of the paper's evaluation). *)
+let run_variant (p : Expr.program) (v : Transform.variant) (env : env) :
+    result =
+  let k = p.Expr.p_kernel in
+  let n = Expr.points p in
+  let bounds = Transform.lane_bounds p v in
+  let outs =
+    List.map (fun (o : Expr.output) -> (o.Expr.o_name, Array.make n 0L))
+      k.Expr.k_outputs
+  in
+  let lane_partials =
+    Array.map
+      (fun (lo, hi) ->
+        let reds =
+          List.map
+            (fun (r : Expr.reduction) ->
+              (r.Expr.r_name, ref (Ty.mask k.Expr.k_ty 0L)))
+            k.Expr.k_reductions
+        in
+        for i = lo to hi - 1 do
+          let ovals, rvals = eval_point k env n i in
+          List.iter (fun (nm, v') -> (List.assoc nm outs).(i) <- v') ovals;
+          List.iter
+            (fun (r : Expr.reduction) ->
+              let acc = List.assoc r.Expr.r_name reds in
+              let v' = List.assoc r.Expr.r_name rvals in
+              acc := apply_op k.Expr.k_ty r.Expr.r_op [ v'; !acc ])
+            k.Expr.k_reductions
+        done;
+        reds)
+      bounds
+  in
+  let reductions =
+    List.map
+      (fun (r : Expr.reduction) ->
+        let acc = ref r.Expr.r_init in
+        Array.iter
+          (fun reds ->
+            acc :=
+              apply_op k.Expr.k_ty r.Expr.r_op
+                [ !(List.assoc r.Expr.r_name reds); !acc ])
+          lane_partials;
+        (r.Expr.r_name, !acc))
+      k.Expr.k_reductions
+  in
+  { outputs = outs; reductions }

@@ -1,0 +1,113 @@
+(** Type-transformation-driven variant generation (paper §II).
+
+    From the baseline program [ps = map p_sor pps] (a single stream, one
+    kernel pipeline) the flow derives variants by reshaping the data and
+    annotating the maps with parallelism keywords:
+
+    {v
+    ps   = map p_sor pps                    -- baseline
+    ppst = reshapeTo L pps                  -- reshaping data
+    pst  = map^par (map^pipe p_sor) ppst    -- L concurrent pipelines
+    v}
+
+    Each reshaped vector translates to a different arrangement of streams
+    over which different parallelism patterns apply; the cost model then
+    chooses the best variant. Correctness is by construction: reshaping
+    is order- and size-preserving, so every variant computes the same
+    function (property-tested via {!Eval}). *)
+
+(** A design variant: the parallelism annotation applied after (possibly)
+    reshaping. These map onto the design-space classes of paper Fig 5. *)
+type variant =
+  | Seq                       (** [map^seq f] — C4, sequential *)
+  | Pipe                      (** [map^pipe f] — C2, single kernel pipeline *)
+  | ParPipe of int            (** [map^par (map^pipe f)] after [reshapeTo L]
+                                  — C1, [L] replicated lanes *)
+  | ParVecPipe of int * int   (** [map^par (map^par (map^pipe f))] after two
+                                  reshapes — C3, [L] lanes × [V] vector *)
+
+let to_string = function
+  | Seq -> "seq"
+  | Pipe -> "pipe"
+  | ParPipe l -> Printf.sprintf "par%d-pipe" l
+  | ParVecPipe (l, v) -> Printf.sprintf "par%d-vec%d-pipe" l v
+
+(** Lanes × vectorization implied by a variant. *)
+let lanes = function
+  | Seq | Pipe -> 1
+  | ParPipe l -> l
+  | ParVecPipe (l, _) -> l
+
+let vec = function ParVecPipe (_, v) -> v | _ -> 1
+
+(** Total concurrent processing elements. *)
+let pes v = lanes v * vec v
+
+(** [reshaped_type p v] — the vector type of program [p]'s data after the
+    variant's type transformation; [Error] when the reshape is not size
+    preserving (lane count does not divide the index space). This is the
+    dynamic check standing in for Idris's dependent-type proof. *)
+let reshaped_type (p : Expr.program) (v : variant) : (Vtype.t, string) result
+    =
+  let base = Expr.vtype p in
+  match v with
+  | Seq | Pipe -> Ok base
+  | ParPipe l -> Vtype.reshape_to l base
+  | ParVecPipe (l, vv) ->
+      Result.bind (Vtype.reshape_to l base) (fun t ->
+          match t with
+          | Vtype.Vect (l', inner) ->
+              Result.map
+                (fun i -> Vtype.Vect (l', i))
+                (Vtype.reshape_to vv inner)
+          | _ -> Error "unreachable")
+
+(** A variant is applicable to [p] iff its reshapes are size preserving. *)
+let applicable (p : Expr.program) (v : variant) : bool =
+  match reshaped_type p v with Ok _ -> true | Error _ -> false
+
+(** [enumerate ?max_lanes ?max_vec p] — the design space reachable with a
+    single [reshapeTo] (lane replication) and optionally a second one
+    (vectorization): the space that "grows very quickly even on the basis
+    of a single basic reshape transformation" (paper §II). Only
+    size-preserving reshapes are generated. *)
+let enumerate ?(max_lanes = 16) ?(max_vec = 1) (p : Expr.program) :
+    variant list =
+  let n = Expr.points p in
+  let lanes_opts =
+    List.filter (fun l -> l <= max_lanes) (Vtype.divisors n)
+  in
+  let base = [ Seq; Pipe ] in
+  let pars =
+    List.filter_map
+      (fun l -> if l > 1 then Some (ParPipe l) else None)
+      lanes_opts
+  in
+  let vecs =
+    if max_vec <= 1 then []
+    else
+      List.concat_map
+        (fun l ->
+          if l = 1 then []
+          else
+            List.filter_map
+              (fun v ->
+                if v > 1 && v <= max_vec && applicable p (ParVecPipe (l, v))
+                then Some (ParVecPipe (l, v))
+                else None)
+              (Vtype.divisors (n / l)))
+        (List.filter (fun l -> l > 1) lanes_opts)
+  in
+  base @ pars @ vecs
+
+(** [lane_bounds p v] — for each processing element, the half-open range
+    of flat indices it processes: contiguous chunks in lane-major order
+    (order preservation of the reshape). *)
+let lane_bounds (p : Expr.program) (v : variant) : (int * int) array =
+  let n = Expr.points p in
+  let k = pes v in
+  if n mod k <> 0 then
+    invalid_arg
+      (Printf.sprintf "variant %s not applicable to %d points" (to_string v) n);
+  let chunk = n / k in
+  Array.init k (fun i -> (i * chunk, (i + 1) * chunk))

@@ -1,0 +1,1 @@
+lib/hdl/maxj.ml: Ast Buffer Char List Printf String Ty Tytra_ir Verilog

@@ -1,0 +1,1 @@
+lib/hdl/offsetbuf.ml: Ast Format Hashtbl List Ty Tytra_ir

@@ -1,0 +1,1 @@
+lib/hdl/primitives.ml: Fun List String

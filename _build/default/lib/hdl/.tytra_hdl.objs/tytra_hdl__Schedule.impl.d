@@ -1,0 +1,1 @@
+lib/hdl/schedule.ml: Ast Format Hashtbl List Map Opinfo String Ty Tytra_ir

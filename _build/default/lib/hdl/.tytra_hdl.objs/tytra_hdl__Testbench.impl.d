@@ -1,0 +1,1 @@
+lib/hdl/testbench.ml: Array Ast Buffer Config_tree Conventions Filename Fun Int64 Interp List Printf Schedule String Ty Tytra_ir Verilog

@@ -1,0 +1,1 @@
+lib/hdl/verilog.ml: Ast Buffer Config_tree Filename Fun Hashtbl Int64 List Map Opinfo Primitives Printf Schedule String Ty Tytra_ir

@@ -1,0 +1,85 @@
+(** Offset-buffer sizing.
+
+    Stream offsets ([%pip1 = offset ui18 %p, +1]) give a work-item access
+    to neighbouring elements of a stream (paper Fig 12 lines 6–9; Fig 13
+    "Offset Buffers"). In hardware this is a tapped window buffer over the
+    stream: to serve taps in [[min_off, max_off]] the buffer holds
+    [max_off - min_off] elements and the stream runs [max_off] elements
+    ahead of the compute — the fill time that appears as the
+    [Noff / (GPB·ρG)] term in the EKIT expressions.
+
+    Small windows are register-based; larger ones (stencil rows/planes) go
+    to on-chip block RAM, which is where the BRAM numbers of the paper's
+    Table II come from. *)
+
+open Tytra_ir
+
+(** One stream's window buffer. *)
+type buf = {
+  ob_stream : string;   (** base stream parameter name *)
+  ob_width : int;       (** element width, bits *)
+  ob_min_off : int;
+  ob_max_off : int;
+  ob_elems : int;       (** window size in elements *)
+  ob_bits : int;        (** total storage bits *)
+  ob_in_bram : bool;    (** true if mapped to block RAM *)
+}
+
+(** Storage threshold above which a window moves from registers to BRAM.
+    Matches typical HLS behaviour (shift registers up to a few hundred
+    bits, memories beyond). *)
+let bram_threshold_bits = 576
+
+(** [of_func f] — window buffers for every offset base stream of [f]. The
+    base stream itself occupies one window slot (tap 0). *)
+let of_func (f : Ast.func) : buf list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Ast.instr) ->
+      match i with
+      | Ast.Offset { src = Ast.Var base; off; ty; _ } ->
+          let lo, hi, w =
+            match Hashtbl.find_opt tbl base with
+            | Some (lo, hi, w) -> (min lo off, max hi off, w)
+            | None -> (min 0 off, max 0 off, Ty.width ty)
+          in
+          Hashtbl.replace tbl base (lo, hi, w)
+      | _ -> ())
+    f.fn_body;
+  Hashtbl.fold
+    (fun base (lo, hi, w) acc ->
+      let elems = hi - lo + 1 in
+      let bits = elems * w in
+      {
+        ob_stream = base;
+        ob_width = w;
+        ob_min_off = lo;
+        ob_max_off = hi;
+        ob_elems = elems;
+        ob_bits = bits;
+        ob_in_bram = bits > bram_threshold_bits;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.ob_stream b.ob_stream)
+
+(** Buffers for one lane (serial PEs accumulate). *)
+let of_lane (pes : Ast.func list) : buf list = List.concat_map of_func pes
+
+(** Total BRAM bits demanded by the window buffers of [bufs]. *)
+let bram_bits (bufs : buf list) =
+  List.fold_left (fun a b -> a + if b.ob_in_bram then b.ob_bits else 0) 0 bufs
+
+(** Register bits demanded by register-mapped windows. *)
+let reg_bits (bufs : buf list) =
+  List.fold_left (fun a b -> a + if b.ob_in_bram then 0 else b.ob_bits) 0 bufs
+
+(** Maximum look-ahead across all buffers: the number of stream elements
+    that must arrive before the first work-item can issue ([Noff] fill). *)
+let max_lookahead (bufs : buf list) =
+  List.fold_left (fun a b -> max a (max 0 b.ob_max_off)) 0 bufs
+
+let pp fmt (b : buf) =
+  Format.fprintf fmt "window %%%s [%d, %d] %d elems x %d bits -> %s" b.ob_stream
+    b.ob_min_off b.ob_max_off b.ob_elems b.ob_width
+    (if b.ob_in_bram then "BRAM" else "registers")

@@ -1,0 +1,162 @@
+(** The TyTra primitive cores' library (paper Fig 11, "Import: primitive
+    cores used").
+
+    Parameterized synthesizable Verilog for the units the datapath emitter
+    instantiates rather than inlines: the pipelined divider and square
+    root, the BRAM-backed stream window (offset buffer), and a small
+    synchronous FIFO used by the stream-control blocks. *)
+
+(** Pipelined restoring divider, one stage per quotient bit. *)
+let div_pipe =
+  {|
+// tytra_div_pipe: fully pipelined restoring divider, II=1, latency=WIDTH.
+module tytra_div_pipe #(parameter WIDTH = 18) (
+  input  wire                clk,
+  input  wire                rst,
+  input  wire [WIDTH-1:0]    num,
+  input  wire [WIDTH-1:0]    den,
+  output wire [WIDTH-1:0]    quo
+);
+  reg [WIDTH-1:0] q   [0:WIDTH-1];
+  reg [WIDTH:0]   rem [0:WIDTH-1];
+  reg [WIDTH-1:0] d   [0:WIDTH-1];
+  integer i;
+  // stage 0 seeds from the inputs; stage i computes quotient bit WIDTH-1-i.
+  wire [WIDTH:0] r0 = {{WIDTH{1'b0}}, num[WIDTH-1]};
+  always @(posedge clk) begin
+    if (rst) begin
+      for (i = 0; i < WIDTH; i = i + 1) begin
+        q[i] <= 0; rem[i] <= 0; d[i] <= 0;
+      end
+    end else begin
+      d[0]   <= den;
+      q[0]   <= (r0 >= {1'b0, den}) ? 1'b1 : 1'b0;
+      rem[0] <= (r0 >= {1'b0, den}) ? r0 - {1'b0, den} : r0;
+      for (i = 1; i < WIDTH; i = i + 1) begin : stages
+        d[i] <= d[i-1];
+        if ({rem[i-1][WIDTH-1:0], num[WIDTH-1-i]} >= {1'b0, d[i-1]}) begin
+          q[i]   <= {q[i-1][WIDTH-2:0], 1'b1};
+          rem[i] <= {rem[i-1][WIDTH-1:0], num[WIDTH-1-i]} - {1'b0, d[i-1]};
+        end else begin
+          q[i]   <= {q[i-1][WIDTH-2:0], 1'b0};
+          rem[i] <= {rem[i-1][WIDTH-1:0], num[WIDTH-1-i]};
+        end
+      end
+    end
+  end
+  assign quo = q[WIDTH-1];
+endmodule
+|}
+
+(** Pipelined non-restoring integer square root. *)
+let sqrt_pipe =
+  {|
+// tytra_sqrt_pipe: pipelined integer square root, II=1, latency=WIDTH/2.
+module tytra_sqrt_pipe #(parameter WIDTH = 18) (
+  input  wire               clk,
+  input  wire               rst,
+  input  wire [WIDTH-1:0]   x,
+  output reg  [WIDTH/2-1:0] root
+);
+  localparam STAGES = WIDTH / 2;
+  reg [WIDTH-1:0]   rem  [0:STAGES-1];
+  reg [WIDTH/2-1:0] r    [0:STAGES-1];
+  integer i;
+  always @(posedge clk) begin
+    if (rst) begin
+      for (i = 0; i < STAGES; i = i + 1) begin rem[i] <= 0; r[i] <= 0; end
+      root <= 0;
+    end else begin
+      rem[0] <= x; r[0] <= 0;
+      for (i = 1; i < STAGES; i = i + 1) begin : stages
+        if (rem[i-1] >= ({r[i-1], 2'b01} << (2*(STAGES-1-i)))) begin
+          rem[i] <= rem[i-1] - ({r[i-1], 2'b01} << (2*(STAGES-1-i)));
+          r[i]   <= {r[i-1][WIDTH/2-2:0], 1'b1};
+        end else begin
+          rem[i] <= rem[i-1];
+          r[i]   <= {r[i-1][WIDTH/2-2:0], 1'b0};
+        end
+      end
+      root <= r[STAGES-1];
+    end
+  end
+endmodule
+|}
+
+(** BRAM-backed stream window with registered taps (offset buffer). *)
+let stream_window =
+  {|
+// tytra_stream_window: a DEPTH-deep window over a stream; tap addresses
+// are relative to the oldest element. Maps to block RAM above the
+// register threshold.
+module tytra_stream_window #(parameter WIDTH = 18, parameter DEPTH = 16) (
+  input  wire             clk,
+  input  wire             rst,
+  input  wire             en,
+  input  wire [WIDTH-1:0] din,
+  output wire [WIDTH-1:0] oldest,
+  output wire [WIDTH-1:0] newest
+);
+  reg [WIDTH-1:0] buf_ [0:DEPTH-1];
+  integer i;
+  always @(posedge clk) begin
+    if (rst) begin
+      for (i = 0; i < DEPTH; i = i + 1) buf_[i] <= 0;
+    end else if (en) begin
+      buf_[0] <= din;
+      for (i = 1; i < DEPTH; i = i + 1) buf_[i] <= buf_[i-1];
+    end
+  end
+  assign newest = buf_[0];
+  assign oldest = buf_[DEPTH-1];
+endmodule
+|}
+
+(** Small synchronous FIFO for the stream-control blocks. *)
+let sync_fifo =
+  {|
+// tytra_sync_fifo: synchronous FIFO with registered output.
+module tytra_sync_fifo #(parameter WIDTH = 18, parameter LOG2DEPTH = 4) (
+  input  wire             clk,
+  input  wire             rst,
+  input  wire             wr_en,
+  input  wire [WIDTH-1:0] din,
+  input  wire             rd_en,
+  output reg  [WIDTH-1:0] dout,
+  output wire             empty,
+  output wire             full
+);
+  localparam DEPTH = 1 << LOG2DEPTH;
+  reg [WIDTH-1:0] mem [0:DEPTH-1];
+  reg [LOG2DEPTH:0] wptr, rptr;
+  assign empty = (wptr == rptr);
+  assign full  = (wptr - rptr) == DEPTH[LOG2DEPTH:0];
+  always @(posedge clk) begin
+    if (rst) begin
+      wptr <= 0; rptr <= 0; dout <= 0;
+    end else begin
+      if (wr_en && !full) begin
+        mem[wptr[LOG2DEPTH-1:0]] <= din;
+        wptr <= wptr + 1'b1;
+      end
+      if (rd_en && !empty) begin
+        dout <= mem[rptr[LOG2DEPTH-1:0]];
+        rptr <= rptr + 1'b1;
+      end
+    end
+  end
+endmodule
+|}
+
+(** Which primitive cores a design needs, given the ops it uses. *)
+type need = { need_div : bool; need_sqrt : bool; need_window : bool }
+
+let library ~(need : need) : string =
+  String.concat "\n"
+    (List.filter_map Fun.id
+       [
+         (if need.need_div then Some div_pipe else None);
+         (if need.need_sqrt then Some sqrt_pipe else None);
+         (if need.need_window then Some stream_window else None);
+         Some sync_fifo;
+       ])

@@ -1,0 +1,511 @@
+(** Synthesizable-Verilog emitter for TyTra-IR designs (paper Fig 11,
+    yellow path: core generation, custom combinatorial blocks, pipeline
+    core-compute, compute unit and configuration include file).
+
+    Conventions:
+    - one Verilog module per processing element ([pipe] leaf function);
+    - a PE's outputs are its SSA locals whose names begin with ["out"]
+      (the lowering pass follows this convention);
+    - offset windows become inline tapped shift registers;
+    - [div]/[sqrt] instantiate primitive cores from
+      {!Primitives}; everything else is inlined RTL with explicit stage
+      registers, laid out according to the ASAP {!Schedule}. *)
+
+open Tytra_ir
+
+let sanitize s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_'
+      then c
+      else '_')
+    s
+
+let is_output_name n =
+  String.length n >= 3 && String.sub n 0 3 = "out"
+
+let w_decl ty = Printf.sprintf "[%d:0]" (Ty.width ty - 1)
+
+let signed_kw ty = if Ty.is_signed ty then " signed" else ""
+
+type ctx = {
+  buf : Buffer.t;
+  mutable used_div : bool;
+  mutable used_sqrt : bool;
+  mutable used_window : bool;
+}
+
+let line ctx fmt = Printf.ksprintf (fun s -> Buffer.add_string ctx.buf s;
+                                     Buffer.add_char ctx.buf '\n') fmt
+
+(* ---------------------------------------------------------------- *)
+(* Per-PE module                                                     *)
+(* ---------------------------------------------------------------- *)
+
+module SM = Map.Make (String)
+
+(* window info per base stream: (lo, hi, width) *)
+let windows_of (f : Ast.func) =
+  List.fold_left
+    (fun acc (i : Ast.instr) ->
+      match i with
+      | Ast.Offset { src = Ast.Var base; off; ty; _ } ->
+          let lo, hi, w =
+            match SM.find_opt base acc with
+            | Some (lo, hi, w) -> (min lo off, max hi off, w)
+            | None -> (min 0 off, max 0 off, Ty.width ty)
+          in
+          SM.add base (lo, hi, w) acc
+      | _ -> acc)
+    SM.empty f.fn_body
+
+let operand_base = function
+  | Ast.Var v -> sanitize v
+  | Ast.Glob g -> "acc_" ^ sanitize g
+  | Ast.Imm i -> Int64.to_string i
+  | Ast.ImmF f -> Printf.sprintf "/* float */ %f" f
+
+(* The signal carrying value [name] as produced (before alignment). *)
+let produced_signal windows name =
+  match SM.find_opt name windows with
+  | Some (lo, hi, _) ->
+      (* the "current" element of a windowed stream is tap [hi - 0] *)
+      ignore lo;
+      Printf.sprintf "win_%s[%d]" (sanitize name) hi
+  | None -> sanitize name
+
+let emit_pe (ctx : ctx) (d : Ast.design) (f : Ast.func) : unit =
+  let sched = Schedule.schedule_func d f in
+  let windows = windows_of f in
+  let ready = List.fold_left (fun m (n, t) -> SM.add n t m) SM.empty
+      sched.Schedule.sc_values in
+  let outs =
+    List.filter_map
+      (function
+        | Ast.Assign { dst = Ast.Dlocal n; ty; op; _ } when is_output_name n ->
+            let rty = match op with
+              | Ast.CmpEq | Ast.CmpNe | Ast.CmpLt | Ast.CmpLe | Ast.CmpGt
+              | Ast.CmpGe -> Ty.Bool
+              | _ -> ty
+            in
+            Some (n, rty)
+        | _ -> None)
+      f.fn_body
+  in
+  let mname = sanitize (d.d_name ^ "_" ^ f.fn_name) in
+  line ctx "// Processing element %s (kind: %s), pipeline depth %d"
+    f.fn_name (Ast.kind_to_string f.fn_kind) sched.Schedule.sc_depth;
+  line ctx "module %s (" mname;
+  line ctx "  input  wire clk,";
+  line ctx "  input  wire rst,";
+  line ctx "  input  wire valid_in,";
+  List.iter
+    (fun (n, ty) ->
+      line ctx "  input  wire%s %s %s," (signed_kw ty) (w_decl ty) (sanitize n))
+    f.fn_params;
+  List.iter
+    (fun (n, ty) ->
+      line ctx "  output wire%s %s %s_o," (signed_kw ty) (w_decl ty) (sanitize n))
+    outs;
+  line ctx "  output wire valid_out";
+  line ctx ");";
+  (* valid pipeline *)
+  let depth = max 1 sched.Schedule.sc_depth in
+  line ctx "  reg [%d:0] vld;" depth;
+  line ctx "  always @(posedge clk) begin";
+  line ctx "    if (rst) vld <= 0;";
+  line ctx "    else     vld <= {vld[%d:0], valid_in};" (depth - 1);
+  line ctx "  end";
+  line ctx "  assign valid_out = vld[%d];" depth;
+  (* offset windows *)
+  SM.iter
+    (fun base (lo, hi, w) ->
+      ctx.used_window <- true;
+      let dep = hi - lo + 1 in
+      let b = sanitize base in
+      line ctx "  // window over stream %%%s, taps [%d, %d]" base lo hi;
+      line ctx "  reg [%d:0] win_%s [0:%d];" (w - 1) b (dep - 1);
+      line ctx "  integer wi_%s;" b;
+      line ctx "  always @(posedge clk) begin";
+      line ctx "    if (valid_in) begin";
+      line ctx "      win_%s[0] <= %s;" b b;
+      line ctx "      for (wi_%s = 1; wi_%s < %d; wi_%s = wi_%s + 1)" b b dep b b;
+      line ctx "        win_%s[wi_%s] <= win_%s[wi_%s-1];" b b b b;
+      line ctx "    end";
+      line ctx "  end")
+    windows;
+  (* delay lines: producer name -> (ready, last consumption stage) *)
+  let last_use = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Schedule.slot) ->
+      match s.Schedule.sl_instr with
+      | Ast.Assign { args; _ } ->
+          List.iter
+            (function
+              | Ast.Var v ->
+                  let cur = try Hashtbl.find last_use v with Not_found -> 0 in
+                  Hashtbl.replace last_use v (max cur s.Schedule.sl_start)
+              | _ -> ())
+            args
+      | _ -> ())
+    sched.Schedule.sc_slots;
+  let sig_at (o : Ast.operand) (stage : int) (ty : Ty.t) : string =
+    ignore ty;
+    match o with
+    | Ast.Var v ->
+        let r = match SM.find_opt v ready with Some t -> t | None -> 0 in
+        if stage <= r then produced_signal windows v
+        else Printf.sprintf "%s_dly%d" (sanitize v) (stage - r)
+    | o -> operand_base o
+  in
+  (* emit delay chains *)
+  Hashtbl.iter
+    (fun v lu ->
+      let r = match SM.find_opt v ready with Some t -> t | None -> 0 in
+      let span = lu - r in
+      if span > 0 then begin
+        let sv = sanitize v in
+        let w =
+          match SM.find_opt v windows with
+          | Some (_, _, w) -> w
+          | None -> (
+              match List.assoc_opt v f.fn_params with
+              | Some ty -> Ty.width ty
+              | None -> 32 (* width recovered below for locals *))
+        in
+        (* locals: find defining instruction's width *)
+        let w =
+          List.fold_left
+            (fun acc (i : Ast.instr) ->
+              match i with
+              | Ast.Assign { dst = Ast.Dlocal n; ty; op; _ } when n = v ->
+                  (match op with
+                  | Ast.CmpEq | Ast.CmpNe | Ast.CmpLt | Ast.CmpLe
+                  | Ast.CmpGt | Ast.CmpGe -> 1
+                  | _ -> Ty.width ty)
+              | Ast.Offset { dst; ty; _ } when dst = v -> Ty.width ty
+              | _ -> acc)
+            w f.fn_body
+        in
+        line ctx "  // delay line for %s: %d stage(s)" v span;
+        for k = 1 to span do
+          line ctx "  reg [%d:0] %s_dly%d;" (w - 1) sv k
+        done;
+        line ctx "  always @(posedge clk) begin";
+        line ctx "    %s_dly1 <= %s;" sv (produced_signal windows v);
+        for k = 2 to span do
+          line ctx "    %s_dly%d <= %s_dly%d;" sv k sv (k - 1)
+        done;
+        line ctx "  end"
+      end)
+    last_use;
+  (* datapath *)
+  List.iter
+    (fun (s : Schedule.slot) ->
+      match s.Schedule.sl_instr with
+      | Ast.Offset { dst; ty; src; off } ->
+          (* a tap into the source window *)
+          let base = match src with Ast.Var v -> v | _ -> "?" in
+          (match SM.find_opt base windows with
+          | Some (_, hi, _) ->
+              line ctx "  wire %s %s = win_%s[%d]; // offset %+d" (w_decl ty)
+                (sanitize dst) (sanitize base) (hi - off) off
+          | None ->
+              line ctx "  wire %s %s = %s; // offset %+d (no window?)"
+                (w_decl ty) (sanitize dst) (sanitize base) off)
+      | Ast.Assign { dst = Ast.Dlocal n; ty; op; args } ->
+          let lat = Opinfo.latency op ty in
+          let start = s.Schedule.sl_start in
+          let a i = sig_at (List.nth args i) start ty in
+          let sn = sanitize n in
+          let rw =
+            match op with
+            | Ast.CmpEq | Ast.CmpNe | Ast.CmpLt | Ast.CmpLe | Ast.CmpGt
+            | Ast.CmpGe -> 1
+            | _ -> Ty.width ty
+          in
+          let comb =
+            match op with
+            | Ast.Add -> Printf.sprintf "%s + %s" (a 0) (a 1)
+            | Ast.Sub -> Printf.sprintf "%s - %s" (a 0) (a 1)
+            | Ast.Mul -> Printf.sprintf "%s * %s" (a 0) (a 1)
+            | Ast.Rem -> Printf.sprintf "%s %% %s" (a 0) (a 1)
+            | Ast.And -> Printf.sprintf "%s & %s" (a 0) (a 1)
+            | Ast.Or -> Printf.sprintf "%s | %s" (a 0) (a 1)
+            | Ast.Xor -> Printf.sprintf "%s ^ %s" (a 0) (a 1)
+            | Ast.Shl -> Printf.sprintf "%s << %s" (a 0) (a 1)
+            | Ast.Shr -> Printf.sprintf "%s >> %s" (a 0) (a 1)
+            | Ast.Min -> Printf.sprintf "(%s < %s) ? %s : %s" (a 0) (a 1) (a 0) (a 1)
+            | Ast.Max -> Printf.sprintf "(%s > %s) ? %s : %s" (a 0) (a 1) (a 0) (a 1)
+            | Ast.Abs ->
+                if Ty.is_signed ty then
+                  Printf.sprintf "(%s[%d]) ? -%s : %s" (a 0) (Ty.width ty - 1)
+                    (a 0) (a 0)
+                else a 0
+            | Ast.Neg -> Printf.sprintf "-%s" (a 0)
+            | Ast.Not -> Printf.sprintf "~%s" (a 0)
+            | Ast.CmpEq -> Printf.sprintf "%s == %s" (a 0) (a 1)
+            | Ast.CmpNe -> Printf.sprintf "%s != %s" (a 0) (a 1)
+            | Ast.CmpLt -> Printf.sprintf "%s < %s" (a 0) (a 1)
+            | Ast.CmpLe -> Printf.sprintf "%s <= %s" (a 0) (a 1)
+            | Ast.CmpGt -> Printf.sprintf "%s > %s" (a 0) (a 1)
+            | Ast.CmpGe -> Printf.sprintf "%s >= %s" (a 0) (a 1)
+            | Ast.Select -> Printf.sprintf "%s ? %s : %s" (a 0) (a 1) (a 2)
+            | Ast.Mov -> a 0
+            | Ast.Div | Ast.Sqrt -> "" (* primitive cores below *)
+          in
+          (match op with
+          | Ast.Div ->
+              ctx.used_div <- true;
+              line ctx "  wire [%d:0] %s;" (rw - 1) sn;
+              line ctx
+                "  tytra_div_pipe #(.WIDTH(%d)) u_div_%s (.clk(clk), .rst(rst), \
+                 .num(%s), .den(%s), .quo(%s));"
+                (Ty.width ty) sn (a 0) (a 1) sn
+          | Ast.Sqrt ->
+              ctx.used_sqrt <- true;
+              line ctx "  wire [%d:0] %s_root;" ((Ty.width ty / 2) - 1) sn;
+              line ctx
+                "  tytra_sqrt_pipe #(.WIDTH(%d)) u_sqrt_%s (.clk(clk), .rst(rst), \
+                 .x(%s), .root(%s_root));"
+                (Ty.width ty) sn (a 0) sn;
+              line ctx "  wire [%d:0] %s = {%d'b0, %s_root};" (rw - 1) sn
+                (Ty.width ty - (Ty.width ty / 2)) sn
+          | _ when lat = 0 ->
+              line ctx "  wire%s [%d:0] %s = %s;" (signed_kw ty) (rw - 1) sn comb
+          | _ ->
+              line ctx "  wire%s [%d:0] %s_c = %s;" (signed_kw ty) (rw - 1) sn comb;
+              for k = 1 to lat do
+                line ctx "  reg%s [%d:0] %s_r%d;" (signed_kw ty) (rw - 1) sn k
+              done;
+              line ctx "  always @(posedge clk) begin";
+              line ctx "    %s_r1 <= %s_c;" sn sn;
+              for k = 2 to lat do
+                line ctx "    %s_r%d <= %s_r%d;" sn k sn (k - 1)
+              done;
+              line ctx "  end";
+              line ctx "  wire%s [%d:0] %s = %s_r%d;" (signed_kw ty) (rw - 1) sn
+                sn lat)
+      | Ast.Assign { dst = Ast.Dglobal _; _ } | Ast.Call _ -> ())
+    sched.Schedule.sc_slots;
+  (* reductions *)
+  List.iter
+    (fun (s : Schedule.slot) ->
+      match s.Schedule.sl_instr with
+      | Ast.Assign { dst = Ast.Dglobal gname; ty; op; args } ->
+          let sg = sanitize gname in
+          let start = s.Schedule.sl_start in
+          let srcs =
+            List.filter_map
+              (function
+                | Ast.Glob g when g = gname -> None
+                | o -> Some (sig_at o start ty))
+              args
+          in
+          let rhs =
+            match (op, srcs) with
+            | Ast.Add, [ x ] -> Printf.sprintf "acc_%s + %s" sg x
+            | Ast.Max, [ x ] ->
+                Printf.sprintf "(acc_%s > %s) ? acc_%s : %s" sg x sg x
+            | Ast.Min, [ x ] ->
+                Printf.sprintf "(acc_%s < %s) ? acc_%s : %s" sg x sg x
+            | _, xs ->
+                Printf.sprintf "acc_%s /* %s */ %s" sg (Ast.op_to_string op)
+                  (String.concat " " xs)
+          in
+          line ctx "  // reduction into design global @%s" gname;
+          line ctx "  reg [%d:0] acc_%s;" (Ty.width ty - 1) sg;
+          line ctx "  always @(posedge clk) begin";
+          line ctx "    if (rst) acc_%s <= 0;" sg;
+          line ctx "    else if (vld[%d]) acc_%s <= %s;" (min depth start) sg rhs;
+          line ctx "  end"
+      | _ -> ())
+    sched.Schedule.sc_slots;
+  (* outputs: align every output to the full pipeline depth *)
+  List.iter
+    (fun (n, _ty) ->
+      let r = match SM.find_opt n ready with Some t -> t | None -> 0 in
+      let sn = sanitize n in
+      if r < depth then begin
+        line ctx "  // align output %s from stage %d to %d" n r depth;
+        for k = 1 to depth - r do
+          line ctx "  reg [%d:0] %s_oal%d;"
+            ((match List.assoc_opt n outs with
+             | Some ty -> Ty.width ty
+             | None -> 32) - 1)
+            sn k
+        done;
+        line ctx "  always @(posedge clk) begin";
+        line ctx "    %s_oal1 <= %s;" sn sn;
+        for k = 2 to depth - r do
+          line ctx "    %s_oal%d <= %s_oal%d;" sn k sn (k - 1)
+        done;
+        line ctx "  end";
+        line ctx "  assign %s_o = %s_oal%d;" sn sn (depth - r)
+      end
+      else line ctx "  assign %s_o = %s;" sn sn)
+    outs;
+  line ctx "endmodule";
+  line ctx ""
+
+(* ---------------------------------------------------------------- *)
+(* Compute unit: lanes + stream control                              *)
+(* ---------------------------------------------------------------- *)
+
+let emit_stream_control (ctx : ctx) (d : Ast.design) =
+  line ctx "// Stream control: translates between random memory access and";
+  line ctx "// the pure streaming domain (paper Fig 4). One address";
+  line ctx "// generator per stream object.";
+  line ctx "module %s_stream_control (" (sanitize d.d_name);
+  line ctx "  input  wire clk,";
+  line ctx "  input  wire rst,";
+  line ctx "  input  wire start,";
+  List.iter
+    (fun (s : Ast.stream_obj) ->
+      line ctx "  output reg  [31:0] addr_%s," (sanitize s.so_name);
+      line ctx "  output reg         req_%s," (sanitize s.so_name))
+    d.d_streams;
+  line ctx "  output wire done";
+  line ctx ");";
+  List.iteri
+    (fun idx (s : Ast.stream_obj) ->
+      let sn = sanitize s.so_name in
+      let size =
+        match Ast.find_mem d s.so_mem with Some m -> m.mo_size | None -> 0
+      in
+      let stride = match s.so_pattern with
+        | Ast.Strided k -> k
+        | Ast.Cont | Ast.Random -> 1
+      in
+      line ctx "  // stream %%%s over %%%s: %s, %d elements" s.so_name s.so_mem
+        (Ast.pattern_to_string s.so_pattern) size;
+      line ctx "  reg [31:0] cnt_%s;" sn;
+      line ctx "  always @(posedge clk) begin";
+      line ctx "    if (rst || start) begin";
+      line ctx "      cnt_%s <= 0; addr_%s <= 0; req_%s <= 0;" sn sn sn;
+      line ctx "    end else if (cnt_%s < %d) begin" sn size;
+      line ctx "      req_%s  <= 1'b1;" sn;
+      line ctx "      addr_%s <= addr_%s + %d;" sn sn stride;
+      line ctx "      cnt_%s  <= cnt_%s + 1;" sn sn;
+      line ctx "    end else req_%s <= 1'b0;" sn;
+      line ctx "  end";
+      if idx = 0 then
+        line ctx "  assign done = (cnt_%s >= %d);" sn size)
+    d.d_streams;
+  if d.d_streams = [] then line ctx "  assign done = 1'b1;";
+  line ctx "endmodule";
+  line ctx ""
+
+let emit_top (ctx : ctx) (d : Ast.design) =
+  let summary = Config_tree.classify d in
+  let pes = summary.Config_tree.cs_pes in
+  line ctx "// Compute unit: %d lane(s), configuration %s"
+    (summary.Config_tree.cs_knl)
+    (Config_tree.cclass_to_string summary.Config_tree.cs_class);
+  line ctx "module %s_top (" (sanitize d.d_name);
+  line ctx "  input  wire clk,";
+  line ctx "  input  wire rst,";
+  line ctx "  input  wire start,";
+  line ctx "  output wire done";
+  line ctx ");";
+  line ctx "  wire sc_done;";
+  (* lane instances *)
+  List.iteri
+    (fun i pe ->
+      match Ast.find_func d pe with
+      | None -> ()
+      | Some f ->
+          let mname = sanitize (d.d_name ^ "_" ^ f.fn_name) in
+          line ctx "  // lane %d" i;
+          line ctx "  %s u_lane%d (.clk(clk), .rst(rst), .valid_in(1'b1)," mname i;
+          List.iter
+            (fun (n, ty) ->
+              line ctx "    .%s(%d'b0)," (sanitize n) (Ty.width ty))
+            f.fn_params;
+          List.iter
+            (fun (i : Ast.instr) ->
+              match i with
+              | Ast.Assign { dst = Ast.Dlocal n; _ } when is_output_name n ->
+                  line ctx "    .%s_o()," (sanitize n)
+              | _ -> ())
+            f.fn_body;
+          line ctx "    .valid_out());")
+    pes;
+  (* stream control instance *)
+  line ctx "  %s_stream_control u_sc (.clk(clk), .rst(rst), .start(start),"
+    (sanitize d.d_name);
+  List.iter
+    (fun (s : Ast.stream_obj) ->
+      line ctx "    .addr_%s(), .req_%s()," (sanitize s.so_name)
+        (sanitize s.so_name))
+    d.d_streams;
+  line ctx "    .done(sc_done));";
+  line ctx "  assign done = sc_done;";
+  line ctx "endmodule";
+  line ctx ""
+
+(** Configuration include file (paper Fig 11: "Configuration include file
+    for design"). *)
+let emit_config (d : Ast.design) : string =
+  let summary = Config_tree.classify d in
+  let p = Tytra_ir.Analysis.params d in
+  String.concat "\n"
+    [
+      Printf.sprintf "// %s configuration" d.d_name;
+      Printf.sprintf "`define TYTRA_DESIGN \"%s\"" (sanitize d.d_name);
+      Printf.sprintf "`define TYTRA_CLASS \"%s\""
+        (Config_tree.cclass_to_string summary.Config_tree.cs_class);
+      Printf.sprintf "`define TYTRA_KNL %d" summary.Config_tree.cs_knl;
+      Printf.sprintf "`define TYTRA_DV %d" summary.Config_tree.cs_dv;
+      Printf.sprintf "`define TYTRA_KPD %d" p.Tytra_ir.Analysis.kpd;
+      Printf.sprintf "`define TYTRA_NGS %d" p.Tytra_ir.Analysis.ngs;
+      "";
+    ]
+
+(** [emit d] — the complete Verilog for design [d]: primitive cores, one
+    module per distinct PE, stream control, and the top-level compute
+    unit. *)
+let emit (d : Ast.design) : string =
+  let ctx = { buf = Buffer.create 4096; used_div = false; used_sqrt = false;
+              used_window = false } in
+  line ctx "// Generated by TyBEC (TyTra back-end compiler, OCaml)";
+  line ctx "// Design: %s" d.d_name;
+  line ctx "";
+  let summary = Config_tree.classify d in
+  let distinct_pes =
+    List.sort_uniq compare summary.Config_tree.cs_pes
+  in
+  List.iter
+    (fun pe ->
+      match Ast.find_func d pe with
+      | Some f when f.fn_kind = Ast.Pipe || f.fn_kind = Ast.Comb ->
+          emit_pe ctx d f
+      | _ -> ())
+    distinct_pes;
+  emit_stream_control ctx d;
+  emit_top ctx d;
+  let prims =
+    Primitives.library
+      ~need:
+        {
+          Primitives.need_div = ctx.used_div;
+          need_sqrt = ctx.used_sqrt;
+          need_window = ctx.used_window;
+        }
+  in
+  Buffer.contents ctx.buf ^ "\n" ^ prims
+
+(** Write [<design>.v] and [<design>_config.vh] into [dir]. Returns the
+    two paths. *)
+let write ~dir (d : Ast.design) : string * string =
+  let v = Filename.concat dir (sanitize d.d_name ^ ".v") in
+  let vh = Filename.concat dir (sanitize d.d_name ^ "_config.vh") in
+  let out path s =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc s)
+  in
+  out v (emit d);
+  out vh (emit_config d);
+  (v, vh)

@@ -1,0 +1,1 @@
+lib/ir/analysis.pp.ml: Ast Config_tree List Map Opinfo Option Ppx_deriving_runtime String Ty

@@ -1,0 +1,1 @@
+lib/ir/ast.pp.ml: Conventions List Ppx_deriving_runtime Printf Ty

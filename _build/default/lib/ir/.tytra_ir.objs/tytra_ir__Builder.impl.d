@@ -1,0 +1,1 @@
+lib/ir/builder.pp.ml: Ast Int64 List Printf Ty Validate

@@ -1,0 +1,1 @@
+lib/ir/config_tree.pp.ml: Ast Format List String

@@ -1,0 +1,1 @@
+lib/ir/conventions.pp.ml: String

@@ -1,0 +1,1 @@
+lib/ir/interp.pp.ml: Array Ast Conventions Float Fun Hashtbl Int64 List Map Printf String Ty

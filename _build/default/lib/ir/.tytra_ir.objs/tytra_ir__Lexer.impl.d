@@ -1,0 +1,1 @@
+lib/ir/lexer.pp.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/ir/opinfo.pp.ml: Ast Ty

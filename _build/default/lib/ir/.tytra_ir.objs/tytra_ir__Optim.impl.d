@@ -1,0 +1,1 @@
+lib/ir/optim.pp.ml: Array Ast Conventions Format Hashtbl Int64 Interp List Map String Ty

@@ -1,0 +1,1 @@
+lib/ir/parser.pp.ml: Ast Filename Fun Int64 Lexer List Printf String Ty

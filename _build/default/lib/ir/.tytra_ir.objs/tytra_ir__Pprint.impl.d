@@ -1,0 +1,1 @@
+lib/ir/pprint.pp.ml: Ast Format Fun List Printf String Ty

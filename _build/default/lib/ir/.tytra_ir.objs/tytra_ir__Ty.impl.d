@@ -1,0 +1,1 @@
+lib/ir/ty.pp.ml: Format Int64 Ppx_deriving_runtime Printf Result String

@@ -1,0 +1,1 @@
+lib/ir/validate.pp.ml: Ast Format Hashtbl Int64 List Map Pprint Printf Set String Ty

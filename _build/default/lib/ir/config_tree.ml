@@ -1,0 +1,153 @@
+(** Configuration-tree extraction (paper Fig 8) and design-space
+    classification (paper Fig 5).
+
+    The compiler parses the parallelism constructs of a design and extracts
+    the architecture implied by the parent/child and peer/peer combinations
+    of [pipe]/[par]/[seq]/[comb] functions. The supported configurations
+    (paper Fig 7) are:
+
+    + a pipeline with combinatorial blocks;
+    + data-parallel pipelines ([par] of [pipe]);
+    + a coarse-grained pipeline ([pipe] of [pipe]s);
+    + data-parallel coarse-grained pipelines;
+    + (extension) vectorized lanes: [par] of [par] of [pipe], where the
+      inner replication factor is the degree of vectorization [DV]. *)
+
+open Ast
+
+type node = {
+  cn_func : string;
+  cn_kind : kind;
+  cn_children : node list;
+}
+
+(** Build the configuration tree rooted at [@main] (or [root]). Assumes a
+    validated design (no recursion, calls resolve). *)
+let rec build ?(root = "main") (d : design) : node =
+  let f = find_func_exn d root in
+  let children =
+    List.filter_map
+      (function
+        | Call { callee; _ } -> Some (build ~root:callee d)
+        | _ -> None)
+      f.fn_body
+  in
+  { cn_func = f.fn_name; cn_kind = f.fn_kind; cn_children = children }
+
+let rec pp_node ?(indent = 0) fmt n =
+  Format.fprintf fmt "%s%s:%s@\n"
+    (String.make indent ' ')
+    n.cn_func (kind_to_string n.cn_kind);
+  List.iter (pp_node ~indent:(indent + 2) fmt) n.cn_children
+
+let to_string n = Format.asprintf "%a" (fun fmt -> pp_node fmt) n
+
+(** Design-space classes of Fig 5 that the compiler currently supports. *)
+type cclass =
+  | C1  (** replicated pipeline lanes (thread + pipeline parallelism) *)
+  | C2  (** single kernel pipeline (pipeline parallelism only) *)
+  | C3  (** vectorized lanes (medium/coarse-grained data parallelism) *)
+  | C4  (** scalar sequential execution (instruction-processor-like) *)
+
+let cclass_to_string = function
+  | C1 -> "C1" | C2 -> "C2" | C3 -> "C3" | C4 -> "C4"
+
+(** Summary of the architecture implied by a configuration tree. *)
+type summary = {
+  cs_class : cclass;
+  cs_knl : int;      (** [KNL] — number of parallel kernel lanes *)
+  cs_dv : int;       (** [DV] — degree of vectorization per lane *)
+  cs_coarse : bool;  (** lanes are coarse-grained pipelines of pipes *)
+  cs_pes : string list;
+      (** names of the leaf processing-element functions, one per lane
+          (times [DV] for vectorized lanes) *)
+}
+
+(* A lane rooted at a pipe node: either a fine-grained pipeline (leaf) or a
+   coarse-grained pipeline of pipes. Returns the PE function names. *)
+let rec lane_pes (n : node) : string list =
+  match n.cn_kind with
+  | Pipe ->
+      let subpipes =
+        List.filter (fun c -> c.cn_kind = Pipe) n.cn_children
+      in
+      if subpipes = [] then [ n.cn_func ]
+      else List.concat_map lane_pes subpipes
+  | Comb -> []
+  | _ -> [ n.cn_func ]
+
+let lane_is_coarse (n : node) =
+  n.cn_kind = Pipe && List.exists (fun c -> c.cn_kind = Pipe) n.cn_children
+
+(** [classify d] analyses the configuration tree of [d] and returns the
+    architecture summary. The top-level function [@main] is treated as a
+    transparent wrapper: its single child (or children) define the
+    configuration. *)
+let classify (d : design) : summary =
+  let root = build d in
+  (* main's children are the real top of the configuration *)
+  let tops = if root.cn_children = [] then [ root ] else root.cn_children in
+  match tops with
+  | [ { cn_kind = Par; cn_children = lanes; _ } ]
+    when lanes <> [] && List.for_all (fun l -> l.cn_kind = Par) lanes ->
+      (* par of par of pipe: vectorized lanes *)
+      let knl = List.length lanes in
+      let dv =
+        List.fold_left (fun acc l -> max acc (List.length l.cn_children)) 1 lanes
+      in
+      let pes =
+        List.concat_map (fun l -> List.concat_map lane_pes l.cn_children) lanes
+      in
+      {
+        cs_class = C3;
+        cs_knl = knl;
+        cs_dv = dv;
+        cs_coarse = false;
+        cs_pes = pes;
+      }
+  | [ { cn_kind = Par; cn_children = lanes; _ } ] when lanes <> [] ->
+      let knl = List.length lanes in
+      let coarse = List.exists lane_is_coarse lanes in
+      {
+        cs_class = C1;
+        cs_knl = knl;
+        cs_dv = 1;
+        cs_coarse = coarse;
+        cs_pes = List.concat_map lane_pes lanes;
+      }
+  | [ ({ cn_kind = Pipe; _ } as lane) ] ->
+      {
+        cs_class = C2;
+        cs_knl = 1;
+        cs_dv = 1;
+        cs_coarse = lane_is_coarse lane;
+        cs_pes = lane_pes lane;
+      }
+  | [ { cn_kind = Seq; _ } ] | [] ->
+      { cs_class = C4; cs_knl = 1; cs_dv = 1; cs_coarse = false; cs_pes = [] }
+  | tops ->
+      (* several peer children under main: treat as a coarse pipeline of
+         peers if all pipes, else sequential *)
+      if List.for_all (fun t -> t.cn_kind = Pipe) tops then
+        {
+          cs_class = C2;
+          cs_knl = 1;
+          cs_dv = 1;
+          cs_coarse = true;
+          cs_pes = List.concat_map lane_pes tops;
+        }
+      else
+        {
+          cs_class = C4;
+          cs_knl = 1;
+          cs_dv = 1;
+          cs_coarse = false;
+          cs_pes = List.concat_map lane_pes tops;
+        }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "%s: KNL=%d DV=%d%s PEs=[%s]"
+    (cclass_to_string s.cs_class)
+    s.cs_knl s.cs_dv
+    (if s.cs_coarse then " coarse" else "")
+    (String.concat "; " s.cs_pes)

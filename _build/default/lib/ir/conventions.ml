@@ -1,0 +1,14 @@
+(** Cross-layer naming conventions for generated IR.
+
+    The lowering pass, the Verilog emitter and the interpreter agree on
+    one convention: a processing element's streamed outputs are its SSA
+    locals whose names begin with ["out"]; the matching [OStream] ports of
+    [@main] are prefixed ["o_"] and declared lane-major, inputs before
+    outputs within each lane. *)
+
+(** Is [n] a PE output value name? *)
+let is_output (n : string) : bool =
+  String.length n >= 3 && String.sub n 0 3 = "out"
+
+(** The OStream port name for kernel output [name]. *)
+let output_port_name (name : string) : string = "o_" ^ name

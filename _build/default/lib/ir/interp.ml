@@ -1,0 +1,339 @@
+(** Functional interpreter for TyTra-IR designs.
+
+    Executes a design's dataflow semantics element-at-a-time: every
+    [pipe]/[seq]/[comb] processing element consumes one element per index
+    from each of its input stream arrays, evaluates its SSA body, and
+    produces its [out_*] values; design-global accumulators reduce across
+    the whole index space. Stream offsets read the backing array at
+    [i + off], with reads outside the stream returning 0 (the padding the
+    generated stream hardware produces at stream boundaries).
+
+    This gives the test suite an executable meaning for lowered designs:
+    the front-end evaluator and the interpreter must agree on single-lane
+    designs exactly, and on multi-lane designs away from chunk halos.
+
+    Conventions interpreted (matching the lowering pass):
+    - an [IStream] port of [@main] binds an input array to the @main
+      parameter of the same name, flowing to PEs by call-argument
+      position;
+    - a PE's outputs are its SSA locals named [out_*], in body order;
+      they map lane-major onto the design's [OStream] ports. *)
+
+open Ast
+
+type env = (string * int64 array) list
+(** input binding: @main port name → data *)
+
+type result = {
+  ir_outputs : (string * int64 array) list;  (** per OStream port *)
+  ir_globals : (string * int64) list;        (** final accumulator values *)
+}
+
+(** Scalar operation semantics at type [ty] — shared with the front-end
+    evaluator. Integer ops wrap modulo the type width; float types carry
+    IEEE-754 double bits in the int64. Division by zero yields 0. *)
+let apply_op (ty : Ty.t) (op : op) (args : int64 list) : int64 =
+  let m v = Ty.mask ty v in
+  let b f = match args with [ a; c ] -> f a c | _ -> invalid_arg "arity" in
+  let u f = match args with [ a ] -> f a | _ -> invalid_arg "arity" in
+  let bool_ v = if v then 1L else 0L in
+  if Ty.is_float ty then begin
+    let fo = Int64.float_of_bits and fi = Int64.bits_of_float in
+    let bf f = b (fun a c -> fi (f (fo a) (fo c))) in
+    let cmp f = b (fun a c -> bool_ (f (compare (fo a) (fo c)) 0)) in
+    match op with
+    | Add -> bf ( +. )
+    | Sub -> bf ( -. )
+    | Mul -> bf ( *. )
+    | Div -> bf (fun a c -> if c = 0.0 then 0.0 else a /. c)
+    | Min -> bf Float.min
+    | Max -> bf Float.max
+    | Abs -> u (fun a -> fi (Float.abs (fo a)))
+    | Neg -> u (fun a -> fi (-.fo a))
+    | Sqrt -> u (fun a -> fi (Float.sqrt (Float.max 0.0 (fo a))))
+    | CmpEq -> cmp ( = )
+    | CmpNe -> cmp ( <> )
+    | CmpLt -> cmp ( < )
+    | CmpLe -> cmp ( <= )
+    | CmpGt -> cmp ( > )
+    | CmpGe -> cmp ( >= )
+    | Select -> (
+        match args with
+        | [ c; a; d ] -> if c <> 0L then a else d
+        | _ -> invalid_arg "arity")
+    | Mov -> u Fun.id
+    | _ -> invalid_arg ("float semantics undefined for " ^ op_to_string op)
+  end
+  else begin
+    let signed = Ty.is_signed ty in
+    let cmpv a c = if signed then Int64.compare a c else Int64.unsigned_compare a c in
+    match op with
+    | Add -> m (b Int64.add)
+    | Sub -> m (b Int64.sub)
+    | Mul -> m (b Int64.mul)
+    | Div ->
+        m (b (fun a c ->
+            if Int64.equal c 0L then 0L
+            else if signed then Int64.div a c
+            else Int64.unsigned_div a c))
+    | Rem ->
+        m (b (fun a c ->
+            if Int64.equal c 0L then 0L
+            else if signed then Int64.rem a c
+            else Int64.unsigned_rem a c))
+    | And -> m (b Int64.logand)
+    | Or -> m (b Int64.logor)
+    | Xor -> m (b Int64.logxor)
+    | Shl ->
+        m (b (fun a c -> Int64.shift_left a (Int64.to_int (Int64.logand c 63L))))
+    | Shr ->
+        m (b (fun a c ->
+            let s = Int64.to_int (Int64.logand c 63L) in
+            if signed then Int64.shift_right a s
+            else Int64.shift_right_logical a s))
+    | Min -> b (fun a c -> if cmpv a c <= 0 then a else c)
+    | Max -> b (fun a c -> if cmpv a c >= 0 then a else c)
+    | Abs ->
+        m (u (fun a -> if signed && Int64.compare a 0L < 0 then Int64.neg a else a))
+    | Neg -> m (u Int64.neg)
+    | Not -> m (u Int64.lognot)
+    | Sqrt ->
+        u (fun v ->
+            if Int64.compare v 0L <= 0 then 0L
+            else begin
+              let x = ref (Int64.of_float (Float.sqrt (Int64.to_float v))) in
+              while Int64.compare (Int64.mul !x !x) v > 0 do
+                x := Int64.sub !x 1L
+              done;
+              while
+                Int64.compare
+                  (Int64.mul (Int64.add !x 1L) (Int64.add !x 1L)) v <= 0
+              do
+                x := Int64.add !x 1L
+              done;
+              !x
+            end)
+    | CmpEq -> b (fun a c -> bool_ (Int64.equal a c))
+    | CmpNe -> b (fun a c -> bool_ (not (Int64.equal a c)))
+    | CmpLt -> b (fun a c -> bool_ (cmpv a c < 0))
+    | CmpLe -> b (fun a c -> bool_ (cmpv a c <= 0))
+    | CmpGt -> b (fun a c -> bool_ (cmpv a c > 0))
+    | CmpGe -> b (fun a c -> bool_ (cmpv a c >= 0))
+    | Select -> (
+        match args with
+        | [ c; a; d ] -> if Int64.compare c 0L <> 0 then a else d
+        | _ -> invalid_arg "arity")
+    | Mov -> u Fun.id
+  end
+
+(* a stream value bound to a PE parameter: the array plus the current
+   lane's view; scalars are constants *)
+type binding =
+  | Stream of int64 array
+  | ScalarI of int64
+  | ScalarF of float
+  | Unbound
+      (** parameter with no data bound (e.g. an output port of a [Seq]
+          design's @main): ignored unless actually read *)
+
+module SM = Map.Make (String)
+
+(* globals accumulate here across all lanes *)
+type gstate = (string, int64) Hashtbl.t
+
+(* execute one PE (pipe/seq/comb leaf) over its stream bindings *)
+let rec exec_pe (d : design) (g : gstate) (f : func)
+    (bindings : binding list) : (string * int64 array) list =
+  let bound =
+    try List.combine (List.map fst f.fn_params) bindings
+    with Invalid_argument _ ->
+      invalid_arg
+        (Printf.sprintf "Interp: @%s called with %d args, has %d params"
+           f.fn_name (List.length bindings) (List.length f.fn_params))
+  in
+  let len =
+    List.fold_left
+      (fun acc (_, b) ->
+        match b with Stream a -> min acc (Array.length a) | _ -> acc)
+      max_int bound
+  in
+  let len = if len = max_int then 0 else len in
+  let outs =
+    List.filter_map
+      (function
+        | Assign { dst = Dlocal n; _ } when Conventions.is_output n ->
+            Some (n, Array.make len 0L)
+        | _ -> None)
+      f.fn_body
+  in
+  for i = 0 to len - 1 do
+    let env = ref SM.empty in
+    List.iter
+      (fun ((n, _), b) ->
+        match b with
+        | Stream a -> env := SM.add n a.(i) !env
+        | ScalarI v -> env := SM.add n v !env
+        | ScalarF fl -> env := SM.add n (Int64.bits_of_float fl) !env
+        | Unbound -> ())
+      (List.combine f.fn_params bindings);
+    let lookup (o : operand) : int64 =
+      match o with
+      | Var v -> (
+          match SM.find_opt v !env with
+          | Some x -> x
+          | None -> invalid_arg ("Interp: unbound %" ^ v))
+      | Glob gn -> (
+          match Hashtbl.find_opt g gn with
+          | Some x -> x
+          | None -> (
+              match find_global d gn with
+              | Some gl -> gl.g_init
+              | None -> invalid_arg ("Interp: unbound @" ^ gn)))
+      | Imm v -> v
+      | ImmF fl -> Int64.bits_of_float fl
+    in
+    List.iter
+      (fun (instr : instr) ->
+        match instr with
+        | Offset { dst; src; off; ty = _ } ->
+            let v =
+              match src with
+              | Var s -> (
+                  match List.assoc_opt s bound with
+                  | Some (Stream a) ->
+                      let j = i + off in
+                      if j >= 0 && j < Array.length a then a.(j) else 0L
+                  | Some (ScalarI v) -> v
+                  | Some (ScalarF fl) -> Int64.bits_of_float fl
+                  | Some Unbound | None ->
+                      invalid_arg ("Interp: offset of unbound %" ^ s))
+              | _ -> invalid_arg "Interp: offset source must be a parameter"
+            in
+            env := SM.add dst v !env
+        | Assign { dst; ty; op; args } -> (
+            let v = apply_op ty op (List.map lookup args) in
+            match dst with
+            | Dlocal n ->
+                env := SM.add n v !env;
+                (match List.assoc_opt n outs with
+                | Some arr -> arr.(i) <- v
+                | None -> ())
+            | Dglobal gn -> Hashtbl.replace g gn v)
+        | Call _ -> ())
+      f.fn_body
+  done;
+  outs
+
+(* evaluate a call argument in the caller's binding environment *)
+and eval_arg (bound : (string * binding) list) (a : operand) : binding =
+  match a with
+  | Var v -> (
+      match List.assoc_opt v bound with
+      | Some b -> b
+      | None -> invalid_arg ("Interp: call argument %" ^ v ^ " unbound"))
+  | Glob g -> invalid_arg ("Interp: global @" ^ g ^ " as call argument")
+  | Imm v -> ScalarI v
+  | ImmF f -> ScalarF f
+
+(* execute a function: leaves run elementwise; par/seq/coarse-pipe
+   wrappers recurse into their calls in body order. A returning call
+   ([rets] non-empty) binds its callee's leading outputs as stream values
+   visible to later peers — the coarse-grained-pipeline plumbing — and
+   contributes no output group itself; calls without [rets] dangle and
+   their outputs become this function's output groups (lane-major). *)
+and exec_func (d : design) (g : gstate) (f : func) (bindings : binding list)
+    : (string * int64 array) list list =
+  let has_calls =
+    List.exists (function Call _ -> true | _ -> false) f.fn_body
+  in
+  if not has_calls then [ exec_pe d g f bindings ]
+  else begin
+    let bound = ref (List.combine (List.map fst f.fn_params) bindings) in
+    List.concat_map
+      (fun (instr : instr) ->
+        match instr with
+        | Call { callee; args; rets; _ } ->
+            let cf = find_func_exn d callee in
+            let groups =
+              exec_func d g cf (List.map (eval_arg !bound) args)
+            in
+            if rets = [] then groups
+            else begin
+              let flat = List.concat groups in
+              List.iteri
+                (fun i r ->
+                  match List.nth_opt flat i with
+                  | Some (_, arr) -> bound := (r, Stream arr) :: !bound
+                  | None ->
+                      invalid_arg
+                        (Printf.sprintf
+                           "Interp: call to @%s binds %d results but only %d \
+                            outputs flowed"
+                           callee (List.length rets) (List.length flat)))
+                rets;
+              (* outputs beyond the bound prefix still dangle *)
+              [ List.filteri (fun i _ -> i >= List.length rets) flat ]
+              |> List.filter (fun l -> l <> [])
+            end
+        | _ -> [])
+      f.fn_body
+  end
+
+(** [run d env] — execute design [d] on the [env] input binding (one
+    array per [IStream] port of [@main], keyed by port name). *)
+let run (d : design) (env : env) : result =
+  let main = main_func d in
+  let g : gstate = Hashtbl.create 4 in
+  List.iter (fun gl -> Hashtbl.replace g gl.g_name gl.g_init) d.d_globals;
+  let bindings =
+    List.map
+      (fun (pname, _ty) ->
+        match List.assoc_opt pname env with
+        | Some a -> Stream a
+        | None ->
+            (* unbound params: output-port placeholders; reads fail,
+               stream-length computation ignores them *)
+            Unbound)
+      main.fn_params
+  in
+  (* replace placeholder bindings for parameters that are not IStream
+     ports: output ports get empty streams (never read); scalars, if any,
+     stay as empty streams unless bound *)
+  let pe_outs = exec_func d g main bindings in
+  (* map PE outputs lane-major onto OStream ports *)
+  let oports =
+    List.filter (fun (p : port) -> p.pt_dir = OStream) d.d_ports
+  in
+  let flat_outs = List.concat pe_outs in
+  let n_pe_groups = List.length pe_outs in
+  let outs_per_lane =
+    if n_pe_groups = 0 then 0 else List.length (List.hd pe_outs)
+  in
+  ignore outs_per_lane;
+  let ir_outputs =
+    if List.length flat_outs = List.length oports then
+      List.map2
+        (fun (p : port) (_, arr) -> (p.pt_fun ^ "." ^ p.pt_port, arr))
+        oports flat_outs
+    else
+      (* fall back to PE-local names when shapes disagree *)
+      List.mapi (fun i (n, arr) -> (Printf.sprintf "%s#%d" n i, arr)) flat_outs
+  in
+  {
+    ir_outputs;
+    ir_globals =
+      List.map (fun gl -> (gl.g_name, Hashtbl.find g gl.g_name)) d.d_globals;
+  }
+
+(** Convenience: concatenate the per-lane output arrays of the same
+    logical output (lane-major), recovering the full index space of the
+    baseline program. [nth] selects which of the kernel's outputs (0 for
+    single-output kernels). *)
+let gathered_output (_d : design) (r : result) ~(outputs_per_lane : int)
+    ~(nth : int) : int64 array =
+  let arrays =
+    List.filteri
+      (fun i _ -> i mod outputs_per_lane = nth)
+      (List.map snd r.ir_outputs)
+  in
+  Array.concat arrays

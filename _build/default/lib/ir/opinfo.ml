@@ -1,0 +1,51 @@
+(** Per-operation micro-architectural metadata.
+
+    Latency and initiation interval of each primitive functional unit, as a
+    function of operand type. These numbers model fully pipelined FPGA
+    functional units: every unit has initiation interval 1 (one operation
+    per cycle in steady state), so pipeline throughput is set by stream
+    supply, not by the units; latency contributes to the kernel pipeline
+    depth [KPD] (paper Table I). The values are representative of
+    Stratix-V / Virtex-7 class fabrics and are fixed per-device via the
+    device description. *)
+
+(** [latency op ty] is the number of pipeline stages of the functional
+    unit implementing [op] at type [ty]. *)
+let latency (op : Ast.op) (ty : Ty.t) : int =
+  let w = Ty.width ty in
+  match op with
+  | Add | Sub -> if Ty.is_float ty then 7 else if w > 32 then 2 else 1
+  | Mul -> if Ty.is_float ty then 5 else if w <= 18 then 3 else 4
+  | Div | Rem ->
+      (* radix-2 restoring divider: one stage per result bit, fully
+         pipelined; float dividers similar depth *)
+      if Ty.is_float ty then (if w = 32 then 16 else 30) else max 2 w
+  | Sqrt -> if Ty.is_float ty then 16 else max 2 (w / 2)
+  | And | Or | Xor | Not -> 1
+  | Shl | Shr -> 1
+  | Min | Max | Abs | Neg -> 1
+  | CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe -> 1
+  | Select -> 1
+  | Mov -> 0
+
+(** All ops are fully pipelined: initiation interval 1. Kept as a function
+    so a device description could override (e.g. an iterative divider). *)
+let initiation_interval (_ : Ast.op) (_ : Ty.t) : int = 1
+
+(** Whether the unit can be absorbed into routing/LUT inputs at no cost
+    (pure wiring). *)
+let is_free = function Ast.Mov -> true | _ -> false
+
+(** Rough relative area class, used by the scheduler's tie-breaking and by
+    documentation; real area comes from the cost model / tech mapper. *)
+type area_class = Trivial | Small | Medium | Large
+
+let area_class (op : Ast.op) (ty : Ty.t) : area_class =
+  match op with
+  | Mov -> Trivial
+  | And | Or | Xor | Not | Shl | Shr -> Small
+  | CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe | Select | Min | Max
+  | Abs | Neg -> Small
+  | Add | Sub -> if Ty.is_float ty then Large else Small
+  | Mul -> if Ty.is_float ty then Large else Medium
+  | Div | Rem | Sqrt -> Large

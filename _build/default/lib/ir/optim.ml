@@ -1,0 +1,360 @@
+(** IR-level optimization passes.
+
+    The TyTra-IR is based on the LLVM-IR precisely so that classic
+    compiler optimizations can run on it before costing and code
+    generation (paper §IV, the LegUp comparison). This module implements
+    the datapath-relevant subset:
+
+    - {b constant folding} — all-immediate operations evaluate at compile
+      time (via {!Interp.apply_op}, so folding agrees bit-for-bit with the
+      interpreter and the generated hardware);
+    - {b copy propagation} — [mov] chains collapse;
+    - {b algebraic simplification / strength reduction} — multiply or
+      divide by powers of two become shifts (a large win on FPGAs, where a
+      multiplier burns a DSP tile but a constant shift is free wiring),
+      [x*0 → 0], [x*1 → x], [x+0 → x], [x-0 → x], [x^x → 0], [x&x → x];
+    - {b common-subexpression elimination} — structurally identical pure
+      operations compute once;
+    - {b dead-code elimination} — values that reach no output, reduction
+      or call are removed.
+
+    All passes preserve the interpreter semantics exactly (property-tested
+    on random lowered kernels) and never touch the Manage-IR: stream and
+    port structure — and therefore [NGS]/[NWPT]/[Noff] — are invariants.
+    What changes is the datapath: [NI], [KPD] and the resource estimate
+    drop, which is how the optimizer shows up in the cost model. *)
+
+open Ast
+
+type stats = {
+  folded : int;      (** constant-folded instructions *)
+  copies : int;      (** propagated moves *)
+  reduced : int;     (** strength-reduced / simplified operations *)
+  cse : int;         (** common subexpressions eliminated *)
+  dce : int;         (** dead instructions removed *)
+  const_args : int;  (** call-site constants propagated into callees *)
+}
+
+let zero_stats =
+  { folded = 0; copies = 0; reduced = 0; cse = 0; dce = 0; const_args = 0 }
+
+let add_stats a b =
+  {
+    folded = a.folded + b.folded;
+    copies = a.copies + b.copies;
+    reduced = a.reduced + b.reduced;
+    cse = a.cse + b.cse;
+    dce = a.dce + b.dce;
+    const_args = a.const_args + b.const_args;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "folded=%d copies=%d reduced=%d cse=%d dce=%d cargs=%d"
+    s.folded s.copies s.reduced s.cse s.dce s.const_args
+
+module SM = Map.Make (String)
+
+let is_pow2 (v : int64) =
+  Int64.compare v 0L > 0 && Int64.equal (Int64.logand v (Int64.sub v 1L)) 0L
+
+let log2_64 (v : int64) =
+  let rec go acc v =
+    if Int64.compare v 1L <= 0 then acc else go (acc + 1) (Int64.shift_right_logical v 1)
+  in
+  go 0 v
+
+(* substitute operands through the environment of known replacements *)
+let subst env (o : operand) : operand =
+  match o with
+  | Var v -> ( match SM.find_opt v env with Some o' -> o' | None -> o)
+  | o -> o
+
+let all_imm args =
+  List.for_all (function Imm _ | ImmF _ -> true | _ -> false) args
+
+let imm_value = function
+  | Imm v -> v
+  | ImmF f -> Int64.bits_of_float f
+  | _ -> invalid_arg "imm_value"
+
+let mk_imm ty (v : int64) : operand =
+  if Ty.is_float ty then ImmF (Int64.float_of_bits v) else Imm v
+
+(* one forward pass over a function body: fold, propagate, simplify, CSE.
+   Returns (new body reversed, env, counters). *)
+let forward (f : func) : instr list * stats =
+  let env = ref SM.empty in
+  let cse_tbl : (op * Ty.t * operand list, string) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let st = ref zero_stats in
+  let bump g = st := g !st in
+  let keep_name n = Conventions.is_output n in
+  let body =
+    List.fold_left
+      (fun acc (i : instr) ->
+        match i with
+        | Offset { dst; ty; src; off } ->
+            Offset { dst; ty; src = subst !env src; off } :: acc
+        | Call { callee; args; kind; rets } ->
+            Call { callee; args = List.map (subst !env) args; kind; rets }
+            :: acc
+        | Assign { dst; ty; op; args } -> (
+            let args = List.map (subst !env) args in
+            let redirect name repl counter =
+              if keep_name name then begin
+                (* outputs must stay materialized: emit a mov *)
+                Assign { dst = Dlocal name; ty; op = Mov; args = [ repl ] }
+                :: acc
+              end
+              else begin
+                env := SM.add name repl !env;
+                bump counter;
+                acc
+              end
+            in
+            match dst with
+            | Dglobal _ -> Assign { dst; ty; op; args } :: acc
+            | Dlocal name ->
+                (* 1. constant folding *)
+                if all_imm args && op <> Mov then begin
+                  let v = Interp.apply_op ty op (List.map imm_value args) in
+                  let rty =
+                    match op with
+                    | CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe -> Ty.Bool
+                    | _ -> ty
+                  in
+                  redirect name (mk_imm rty v) (fun s ->
+                      { s with folded = s.folded + 1 })
+                end
+                else if op = Mov then begin
+                  match args with
+                  | [ a ] ->
+                      redirect name a (fun s -> { s with copies = s.copies + 1 })
+                  | _ -> Assign { dst; ty; op; args } :: acc
+                end
+                else begin
+                  (* 2. algebraic simplification / strength reduction *)
+                  let simplified =
+                    match (op, args, Ty.is_float ty) with
+                    | Mul, [ a; Imm v ], false | Mul, [ Imm v; a ], false ->
+                        if Int64.equal v 0L then Some (`Repl (Imm 0L))
+                        else if Int64.equal v 1L then Some (`Repl a)
+                        else if is_pow2 v then
+                          Some
+                            (`Rewrite
+                              (Shl, [ a; Imm (Int64.of_int (log2_64 v)) ]))
+                        else None
+                    | Div, [ a; Imm v ], false when not (Ty.is_signed ty) ->
+                        if Int64.equal v 1L then Some (`Repl a)
+                        else if is_pow2 v then
+                          Some
+                            (`Rewrite
+                              (Shr, [ a; Imm (Int64.of_int (log2_64 v)) ]))
+                        else None
+                    | Rem, [ a; Imm v ], false when not (Ty.is_signed ty) ->
+                        if Int64.equal v 1L then Some (`Repl (Imm 0L))
+                        else if is_pow2 v then
+                          Some (`Rewrite (And, [ a; Imm (Int64.sub v 1L) ]))
+                        else None
+                    | Add, [ a; Imm 0L ], false | Add, [ Imm 0L; a ], false
+                    | Sub, [ a; Imm 0L ], false ->
+                        Some (`Repl a)
+                    | Xor, [ Var a; Var b ], false when a = b ->
+                        Some (`Repl (Imm 0L))
+                    | (And | Or), [ Var a; Var b ], false when a = b ->
+                        Some (`Repl (Var a))
+                    | Select, [ Imm c; a; b ], _ ->
+                        Some (`Repl (if Int64.compare c 0L <> 0 then a else b))
+                    | _ -> None
+                  in
+                  match simplified with
+                  | Some (`Repl r) ->
+                      redirect name r (fun s -> { s with reduced = s.reduced + 1 })
+                  | Some (`Rewrite (op', args')) ->
+                      bump (fun s -> { s with reduced = s.reduced + 1 });
+                      (* the rewritten op goes through CSE like any other *)
+                      let key = (op', ty, args') in
+                      (match Hashtbl.find_opt cse_tbl key with
+                      | Some prev when not (keep_name name) ->
+                          env := SM.add name (Var prev) !env;
+                          bump (fun s -> { s with cse = s.cse + 1 });
+                          acc
+                      | _ ->
+                          Hashtbl.replace cse_tbl key name;
+                          Assign { dst = Dlocal name; ty; op = op'; args = args' }
+                          :: acc)
+                  | None -> (
+                      (* 3. CSE on the original operation *)
+                      let key = (op, ty, args) in
+                      match Hashtbl.find_opt cse_tbl key with
+                      | Some prev when not (keep_name name) ->
+                          env := SM.add name (Var prev) !env;
+                          bump (fun s -> { s with cse = s.cse + 1 });
+                          acc
+                      | _ ->
+                          Hashtbl.replace cse_tbl key name;
+                          Assign { dst = Dlocal name; ty; op; args } :: acc)
+                end))
+      [] f.fn_body
+  in
+  (body, !st)
+
+(* backward liveness: keep instructions whose destination is live *)
+let dce (body_rev : instr list) : instr list * int =
+  let live = Hashtbl.create 32 in
+  let mark (o : operand) =
+    match o with Var v -> Hashtbl.replace live v () | _ -> ()
+  in
+  let removed = ref 0 in
+  let kept =
+    List.fold_left
+      (fun acc (i : instr) ->
+        match i with
+        | Assign { dst = Dlocal n; args; _ } ->
+            if Conventions.is_output n || Hashtbl.mem live n then begin
+              List.iter mark args;
+              i :: acc
+            end
+            else begin
+              incr removed;
+              acc
+            end
+        | Assign { dst = Dglobal _; args; _ } ->
+            List.iter mark args;
+            i :: acc
+        | Offset { dst; src; _ } ->
+            if Hashtbl.mem live dst then begin
+              mark src;
+              i :: acc
+            end
+            else begin
+              incr removed;
+              acc
+            end
+        | Call { args; _ } ->
+            List.iter mark args;
+            i :: acc)
+      [] body_rev
+  in
+  (kept, !removed)
+
+(** Optimize one function to a fixpoint (bounded). *)
+let optimize_func (f : func) : func * stats =
+  let rec go f stats n =
+    if n = 0 then (f, stats)
+    else begin
+      let body_rev, st1 = forward f in
+      let body, removed = dce body_rev in
+      let st = add_stats st1 { zero_stats with dce = removed } in
+      let f' = { f with fn_body = body } in
+      if f'.fn_body = f.fn_body then (f', add_stats stats st)
+      else go f' (add_stats stats st) (n - 1)
+    end
+  in
+  go f zero_stats 8
+
+(** Interprocedural constant-argument propagation: when {e every} call
+    site of a function passes the same immediate for a parameter, the
+    constant is substituted into the callee's body (specialization). The
+    parameter and the call-site argument stay in place — the interface is
+    unchanged and the design still validates — but the constant now folds
+    inside the body. This is how the paper kernels' scalar coefficients
+    (passed as immediates by the lowering pass, Fig 12's [cn*]) become
+    visible to folding and strength reduction. *)
+let propagate_const_args (d : design) : design * int =
+  (* per (callee, position): Some imm if all sites agree, None otherwise *)
+  let table : (string, operand option array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (f : func) ->
+      List.iter
+        (fun (i : instr) ->
+          match i with
+          | Call { callee; args; _ } -> (
+              match find_func d callee with
+              | None -> ()
+              | Some cf ->
+                  let arr =
+                    match Hashtbl.find_opt table callee with
+                    | Some arr -> arr
+                    | None ->
+                        let arr =
+                          Array.make (List.length cf.fn_params) None
+                        in
+                        (* first sight: seed with this site's immediates *)
+                        List.iteri
+                          (fun k a ->
+                            match a with
+                            | (Imm _ | ImmF _) as c -> arr.(k) <- Some c
+                            | _ -> ())
+                          args;
+                        Hashtbl.replace table callee arr;
+                        arr
+                  in
+                  List.iteri
+                    (fun k a ->
+                      match (arr.(k), a) with
+                      | Some c, ((Imm _ | ImmF _) as c') when c = c' -> ()
+                      | _, _ -> arr.(k) <- None)
+                    args)
+          | _ -> ())
+        f.fn_body)
+    d.d_funcs;
+  let count = ref 0 in
+  let funcs =
+    List.map
+      (fun (f : func) ->
+        match Hashtbl.find_opt table f.fn_name with
+        | None -> f
+        | Some arr ->
+            let subst = Hashtbl.create 4 in
+            List.iteri
+              (fun k (pname, _) ->
+                match arr.(k) with
+                | Some c ->
+                    Hashtbl.replace subst pname c;
+                    incr count
+                | None -> ())
+              f.fn_params;
+            if Hashtbl.length subst = 0 then f
+            else
+              let sub (o : operand) =
+                match o with
+                | Var v -> (
+                    match Hashtbl.find_opt subst v with
+                    | Some c -> c
+                    | None -> o)
+                | o -> o
+              in
+              let body =
+                List.map
+                  (fun (i : instr) ->
+                    match i with
+                    | Assign { dst; ty; op; args } ->
+                        Assign { dst; ty; op; args = List.map sub args }
+                    | Call { callee; args; kind; rets } ->
+                        Call { callee; args = List.map sub args; kind; rets }
+                    | Offset _ as i -> i (* stream sources stay symbolic *))
+                  f.fn_body
+              in
+              { f with fn_body = body })
+      d.d_funcs
+  in
+  ({ d with d_funcs = funcs }, !count)
+
+(** [run ?interprocedural d] — optimize every function of [d]. Manage-IR
+    is untouched; the result still validates. *)
+let run ?(interprocedural = true) (d : design) : design * stats =
+  let d, cargs =
+    if interprocedural then propagate_const_args d else (d, 0)
+  in
+  let stats = ref { zero_stats with const_args = cargs } in
+  let funcs =
+    List.map
+      (fun f ->
+        let f', st = optimize_func f in
+        stats := add_stats !stats st;
+        f')
+      d.d_funcs
+  in
+  ({ d with d_funcs = funcs }, !stats)

@@ -1,0 +1,103 @@
+(** Pretty-printer emitting the textual [.tirl] concrete syntax.
+
+    The output parses back with {!Parser.parse} to a structurally equal
+    design (round-trip property, checked by qcheck in the test suite). *)
+
+open Ast
+
+(* Shortest decimal representation that round-trips and lexes as a float
+   (i.e. contains '.' or an exponent). *)
+let float_lit f =
+  let s = Printf.sprintf "%.17g" f in
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17e" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let pp_operand fmt = function
+  | Var s -> Format.fprintf fmt "%%%s" s
+  | Glob s -> Format.fprintf fmt "@@%s" s
+  | Imm i -> Format.fprintf fmt "%Ld" i
+  | ImmF f -> Format.pp_print_string fmt (float_lit f)
+
+let operand_to_string o = Format.asprintf "%a" pp_operand o
+
+let pp_mem fmt (m : mem_obj) =
+  Format.fprintf fmt "%%%s = memobj %s %s size %d" m.mo_name
+    (space_to_string m.mo_space) (Ty.to_string m.mo_ty) m.mo_size
+
+let pp_stream fmt (s : stream_obj) =
+  Format.fprintf fmt "%%%s = stream %s %%%s pattern %s" s.so_name
+    (dir_to_string s.so_dir) s.so_mem
+    (pattern_to_string s.so_pattern)
+
+let pp_port fmt (p : port) =
+  let pat =
+    match p.pt_pattern with
+    | Cont -> "!cont"
+    | Random -> "!random"
+    | Strided s -> Printf.sprintf "!strided %d" s
+  in
+  Format.fprintf fmt "@@%s.%s = addrspace(%d) %s !%s %s !%d !%s" p.pt_fun
+    p.pt_port (space_level p.pt_space) (Ty.to_string p.pt_ty)
+    (dir_to_string p.pt_dir) pat p.pt_base_off p.pt_stream
+
+let pp_global fmt (g : global) =
+  Format.fprintf fmt "@@%s = global %s init %Ld" g.g_name
+    (Ty.to_string g.g_ty) g.g_init
+
+let pp_instr fmt = function
+  | Offset { dst; ty; src; off } ->
+      Format.fprintf fmt "%%%s = offset %s %a, %s%d" dst (Ty.to_string ty)
+        pp_operand src
+        (if off >= 0 then "+" else "")
+        off
+  | Assign { dst; ty; op; args } ->
+      let d =
+        match dst with Dlocal s -> "%" ^ s | Dglobal s -> "@" ^ s
+      in
+      Format.fprintf fmt "%s = %s %s %s" d (op_to_string op)
+        (Ty.to_string ty)
+        (String.concat ", " (List.map operand_to_string args))
+  | Call { callee; args; kind; rets } ->
+      let prefix =
+        match rets with
+        | [] -> ""
+        | rs -> String.concat ", " (List.map (fun r -> "%" ^ r) rs) ^ " = "
+      in
+      Format.fprintf fmt "%scall @@%s (%s) %s" prefix callee
+        (String.concat ", " (List.map operand_to_string args))
+        (kind_to_string kind)
+
+let pp_func fmt (f : func) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (n, t) -> Printf.sprintf "%s %%%s" (Ty.to_string t) n)
+         f.fn_params)
+  in
+  Format.fprintf fmt "define void @@%s (%s) %s {@\n" f.fn_name params
+    (kind_to_string f.fn_kind);
+  List.iter (fun i -> Format.fprintf fmt "  %a@\n" pp_instr i) f.fn_body;
+  Format.fprintf fmt "}"
+
+let pp_design fmt (d : design) =
+  Format.fprintf fmt "; design: %s@\n" d.d_name;
+  if d.d_mems <> [] || d.d_streams <> [] || d.d_ports <> [] then
+    Format.fprintf fmt "; **** MANAGE-IR ****@\n";
+  List.iter (fun m -> Format.fprintf fmt "%a@\n" pp_mem m) d.d_mems;
+  List.iter (fun s -> Format.fprintf fmt "%a@\n" pp_stream s) d.d_streams;
+  List.iter (fun p -> Format.fprintf fmt "%a@\n" pp_port p) d.d_ports;
+  List.iter (fun g -> Format.fprintf fmt "%a@\n" pp_global g) d.d_globals;
+  Format.fprintf fmt "; **** COMPUTE-IR ****@\n";
+  List.iter (fun f -> Format.fprintf fmt "%a@\n" pp_func f) d.d_funcs
+
+let design_to_string d = Format.asprintf "%a" pp_design d
+let instr_to_string i = Format.asprintf "%a" pp_instr i
+let func_to_string f = Format.asprintf "%a" pp_func f
+
+(** Write a design to a [.tirl] file. *)
+let write_file path d =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (design_to_string d))

@@ -1,0 +1,94 @@
+(** Scalar types of the TyTra-IR.
+
+    The TyTra-IR is strongly and statically typed (paper §IV). Types carry
+    an explicit bit-width, e.g. [ui18] is an 18-bit unsigned integer — the
+    width used throughout the paper's SOR listings. Widths are significant:
+    the resource cost model (paper §V-A, Fig 9) is parameterised on the
+    bit-width of each operation. *)
+
+type t =
+  | UInt of int  (** unsigned integer of the given bit-width, e.g. [ui18] *)
+  | SInt of int  (** signed (two's-complement) integer *)
+  | Float of int (** IEEE-754 binary float; width 32 or 64 *)
+  | Bool         (** single-bit predicate, result of comparisons *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(** [width t] is the bit-width of a value of type [t]. *)
+let width = function
+  | UInt w | SInt w | Float w -> w
+  | Bool -> 1
+
+(** [is_integer t] holds for [UInt]/[SInt]/[Bool]. *)
+let is_integer = function UInt _ | SInt _ | Bool -> true | Float _ -> false
+
+let is_float = function Float _ -> true | _ -> false
+let is_signed = function SInt _ -> true | _ -> false
+
+(** [valid t] checks representability constraints: integer widths in
+    [1, 128]; float widths 32 or 64. *)
+let valid = function
+  | UInt w | SInt w -> w >= 1 && w <= 128
+  | Float w -> w = 32 || w = 64
+  | Bool -> true
+
+(** Concrete syntax, as used in [.tirl] listings: [ui18], [si32], [fp32],
+    [bool]. *)
+let to_string = function
+  | UInt w -> Printf.sprintf "ui%d" w
+  | SInt w -> Printf.sprintf "si%d" w
+  | Float w -> Printf.sprintf "fp%d" w
+  | Bool -> "bool"
+
+(** [of_string s] parses the concrete syntax. Returns [Error _] on
+    malformed names or invalid widths. *)
+let of_string s : (t, string) result =
+  let num pfx =
+    let n = String.length pfx in
+    match int_of_string_opt (String.sub s n (String.length s - n)) with
+    | Some w -> Ok w
+    | None -> Error (Printf.sprintf "malformed type %S" s)
+  in
+  let check t = if valid t then Ok t else Error ("invalid width in type " ^ s) in
+  if s = "bool" then Ok Bool
+  else if String.length s > 2 && String.sub s 0 2 = "ui" then
+    Result.bind (num "ui") (fun w -> check (UInt w))
+  else if String.length s > 2 && String.sub s 0 2 = "si" then
+    Result.bind (num "si") (fun w -> check (SInt w))
+  else if String.length s > 2 && String.sub s 0 2 = "fp" then
+    Result.bind (num "fp") (fun w -> check (Float w))
+  else Error (Printf.sprintf "unknown type %S" s)
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error e -> invalid_arg e
+
+(** Range of representable values, for the interpreter and validator.
+    Floats report an infinite range. *)
+let int_range = function
+  | UInt w ->
+      let w = min w 62 in
+      Some (0L, Int64.sub (Int64.shift_left 1L w) 1L)
+  | SInt w ->
+      let w = min w 62 in
+      let h = Int64.shift_left 1L (w - 1) in
+      Some (Int64.neg h, Int64.sub h 1L)
+  | Bool -> Some (0L, 1L)
+  | Float _ -> None
+
+(** [mask t v] wraps the integer [v] into the representable range of [t]
+    (modular arithmetic, as in hardware). Identity for float types. *)
+let mask t (v : int64) : int64 =
+  match t with
+  | Float _ -> v
+  | Bool -> if Int64.equal v 0L then 0L else 1L
+  | UInt w when w >= 63 -> v
+  | UInt w ->
+      Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+  | SInt w when w >= 63 -> v
+  | SInt w ->
+      let m = Int64.shift_left 1L w in
+      let r = Int64.rem v m in
+      let r = if Int64.compare r 0L < 0 then Int64.add r m else r in
+      let h = Int64.shift_left 1L (w - 1) in
+      if Int64.compare r h >= 0 then Int64.sub r m else r
+
+let pp_t fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,1 @@
+lib/kernels/lavamd.ml: Expr Int64 Tytra_front Tytra_ir Tytra_sim

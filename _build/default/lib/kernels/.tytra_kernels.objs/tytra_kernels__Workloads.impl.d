@@ -1,0 +1,1 @@
+lib/kernels/workloads.ml: Array Eval Expr Int64 List Tytra_front Tytra_ir Tytra_sim

@@ -1,0 +1,59 @@
+(** Hotspot — Rodinia's thermal-simulation benchmark (paper Table II).
+
+    Estimates processor temperature from an architectural floorplan and
+    simulated power measurements: a 2-D five-point stencil over the
+    temperature grid plus the local power dissipation,
+
+    {v
+    t' = t + cc * ( cn*(t_n + t_s - 2t) + ce*(t_e + t_w - 2t)
+                  + cz*(amb - t) + power )
+    v}
+
+    The integer version used for cost-model validation runs at [ui32]:
+    its three 32-bit multiplies map to 4 DSP tiles each — the 12 DSPs of
+    the paper's Table II row — and its two-row stencil window over a
+    512-wide grid is the ~32.8 Kbit of block RAM. *)
+
+open Tytra_front
+open Expr
+
+let kernel ?(ty = Tytra_ir.Ty.UInt 32) ~(cols : int) () : kernel =
+  let fl = Tytra_ir.Ty.is_float ty in
+  let pval f i = if fl then param_float f else Int64.of_int i in
+  let t = input "t" in
+  let vertical = sten "t" cols +: sten "t" (-cols) -: (t +: t) in
+  let horizontal = sten "t" 1 +: sten "t" (-1) -: (t +: t) in
+  let delta =
+    param "cc"
+    *: ((param "cn" *: vertical) +: (param "ce" *: horizontal)
+       +: (param "amb" -: t) +: input "power")
+  in
+  {
+    k_name = "hotspot";
+    k_ty = ty;
+    k_inputs = [ "t"; "power" ];
+    k_params =
+      [ ("cc", pval 0.5 1); ("cn", pval 0.1 2); ("ce", pval 0.1 2);
+        ("amb", pval 80.0 80) ];
+    k_outputs = [ { o_name = "t"; o_expr = t +: delta } ];
+    k_reductions = [];
+  }
+
+(** [program ~rows ~cols ()] — one time-step over a [rows × cols]
+    floorplan grid. *)
+let program ?(ty = Tytra_ir.Ty.UInt 32) ~rows ~cols () : program =
+  { p_kernel = kernel ~ty ~cols (); p_shape = [ rows; cols ] }
+
+(** The Table II configuration: Rodinia's default 512×512 grid — whose
+    ~262 K points are the paper's CPKI of 262.3 K cycles. *)
+let table2_program () = program ~ty:(Tytra_ir.Ty.UInt 32) ~rows:512 ~cols:512 ()
+
+let cpu_workload ~(rows : int) ~(cols : int) : Tytra_sim.Cpu_model.workload =
+  let points = rows * cols in
+  let word = 4 in
+  {
+    Tytra_sim.Cpu_model.wl_points = points;
+    wl_ops_per_point = 12;
+    wl_bytes_per_point = 3 * word;
+    wl_working_set = 3 * points * word;
+  }

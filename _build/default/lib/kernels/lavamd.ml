@@ -1,0 +1,84 @@
+(** LavaMD — Rodinia's molecular-dynamics benchmark (paper Table II).
+
+    Calculates particle potential and relocation due to mutual forces
+    between particles within a large 3-D space. The space is cut into
+    boxes of 100 particles; a kernel instance computes, for every particle
+    of a home box, its interaction with the particles streamed from a
+    neighbour box:
+
+    {v
+    dx = xh - xn;  dy = yh - yn;  dz = zh - zn
+    r2 = dx² + dy² + dz²
+    u2 = a2 · r2
+    vij ≈ poly(u2)            -- exp(-u2) by quartic approximation
+    fs = 2 · vij
+    fx,fy,fz = fs·dx, fs·dy, fs·dz ; e += qv · vij
+    v}
+
+    The integer version is all-multiplier datapath — no stencil offsets,
+    hence the 0 BRAM of the paper's Table II row — and the box size of
+    100 particles gives the ~111-cycle CPKI. The home-box particle is the
+    kernel's scalar parameter set; the neighbour particles stream. *)
+
+open Tytra_front
+open Expr
+
+let kernel ?(ty = Tytra_ir.Ty.UInt 18) () : kernel =
+  let fl = Tytra_ir.Ty.is_float ty in
+  let pval f i = if fl then param_float f else Int64.of_int i in
+  let dx = param "xh" -: input "xn" in
+  let dy = param "yh" -: input "yn" in
+  let dz = param "zh" -: input "zn" in
+  let r2 = (dx *: dx) +: (dy *: dy) +: (dz *: dz) in
+  let u2 = param "a2" *: r2 in
+  (* quartic Horner approximation of exp(-u2) *)
+  let vij =
+    param "c0"
+    +: (u2
+        *: (param "c1"
+            +: (u2 *: (param "c2" +: (u2 *: (param "c3" +: (u2 *: param "c4")))))))
+  in
+  let fs = vij +: vij in
+  {
+    k_name = "lavamd";
+    k_ty = ty;
+    k_inputs = [ "xn"; "yn"; "zn"; "qv" ];
+    k_params =
+      [
+        ("xh", pval 1.5 3); ("yh", pval 2.5 5); ("zh", pval 0.5 1);
+        ("a2", pval 0.5 1);
+        ("c0", pval 1.0 1); ("c1", pval (-1.0) 1); ("c2", pval 0.5 1);
+        ("c3", pval (-0.1666) 1); ("c4", pval 0.04166 1);
+      ];
+    k_outputs =
+      [
+        { o_name = "fx"; o_expr = fs *: dx };
+        { o_name = "fy"; o_expr = fs *: dy };
+        { o_name = "fz"; o_expr = fs *: dz };
+      ];
+    k_reductions =
+      [ { r_name = "energy"; r_op = Tytra_ir.Ast.Add;
+          r_expr = input "qv" *: vij; r_init = 0L } ];
+  }
+
+(** Rodinia's particles-per-box. *)
+let par_per_box = 100
+
+(** [program ~boxes ()] — interactions of one home particle against
+    [boxes] neighbour boxes of 100 particles each. *)
+let program ?(ty = Tytra_ir.Ty.UInt 18) ?(boxes = 1) () : program =
+  { p_kernel = kernel ~ty (); p_shape = [ boxes; par_per_box ] }
+
+(** The Table II configuration: one neighbour box — a ~100-work-item
+    kernel instance, matching the paper's CPKI of ~111 cycles. *)
+let table2_program () = program ~ty:(Tytra_ir.Ty.UInt 18) ~boxes:1 ()
+
+let cpu_workload ~(boxes : int) : Tytra_sim.Cpu_model.workload =
+  let points = boxes * par_per_box in
+  let word = 4 in
+  {
+    Tytra_sim.Cpu_model.wl_points = points;
+    wl_ops_per_point = 30;
+    wl_bytes_per_point = 7 * word;
+    wl_working_set = 4 * points * word;
+  }

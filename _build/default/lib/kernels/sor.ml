@@ -1,0 +1,91 @@
+(** Successive Over-Relaxation (SOR) — the paper's running exemplar.
+
+    The kernel comes from the Large Eddy Simulator, an experimental
+    weather model; it iteratively solves the Poisson equation for the
+    pressure. The main computation is a stencil over the six cardinal
+    neighbours (paper §II):
+
+    {v
+    p_sor pt = reltmp + p
+      where
+        reltmp = omega * (cn1 * ( cn2l * p_i_pos + cn2s * p_i_neg
+                                + cn3l * p_j_pos + cn3s * p_j_neg
+                                + cn4l * p_k_pos + cn4s * p_k_neg ) - rhs) - p
+    v}
+
+    plus a global convergence-error reduction ([@sorErrAcc], Fig 12
+    line 15). Streams: [p] (with six stencil offsets, Fig 13's offset
+    buffers) and [rhs]; the weight coefficients [cn*] and [omega] are
+    scalar kernel parameters. The integer version ([ui18], as in the
+    paper's Table II) and a floating-point version (for the case study's
+    realistically sized grids) share the same structure. *)
+
+open Tytra_front
+open Expr
+
+(** [kernel ~ty ~im ~jm ()] — the SOR kernel for a grid with leading
+    dimensions [im] (i stride 1) and [jm] (j stride [im]); the k stride is
+    [im*jm], giving the maximum stream offset [Noff = im*jm] (the paper's
+    [ND1*ND2], Fig 12 line 8). *)
+let kernel ?(ty = Tytra_ir.Ty.UInt 18) ~(im : int) ~(jm : int) () : kernel =
+  let fl = Tytra_ir.Ty.is_float ty in
+  let pval f i = if fl then param_float f else Int64.of_int i in
+  let sk = im * jm in
+  let neigh =
+    (param "cn2l" *: sten "p" 1)
+    +: (param "cn2s" *: sten "p" (-1))
+    +: (param "cn3l" *: sten "p" im)
+    +: (param "cn3s" *: sten "p" (-im))
+    +: (param "cn4l" *: sten "p" sk)
+    +: (param "cn4s" *: sten "p" (-sk))
+  in
+  let reltmp =
+    (param "omega" *: ((param "cn1" *: neigh) -: input "rhs")) -: input "p"
+  in
+  {
+    k_name = "sor";
+    k_ty = ty;
+    k_inputs = [ "p"; "rhs" ];
+    k_params =
+      [
+        ("omega", pval 0.913 1);
+        ("cn1", pval 0.1666 1);
+        ("cn2l", pval 1.0 1);
+        ("cn2s", pval 1.0 1);
+        ("cn3l", pval 1.0 1);
+        ("cn3s", pval 1.0 1);
+        ("cn4l", pval 1.0 1);
+        ("cn4s", pval 1.0 1);
+      ];
+    k_outputs = [ { o_name = "p"; o_expr = reltmp +: input "p" } ];
+    k_reductions =
+      [ { r_name = "sorErrAcc"; r_op = Tytra_ir.Ast.Add;
+          r_expr = reltmp *: reltmp; r_init = 0L } ];
+  }
+
+(** [program ~ty ~im ~jm ~km ()] — SOR over an [im × jm × km] grid. *)
+let program ?(ty = Tytra_ir.Ty.UInt 18) ~im ~jm ~km () : program =
+  { p_kernel = kernel ~ty ~im ~jm (); p_shape = [ im; jm; km ] }
+
+(** The Table II configuration: the integer kernel on a small validation
+    grid (CPKI of a few hundred cycles, as in the paper). *)
+let table2_program () = program ~ty:(Tytra_ir.Ty.UInt 18) ~im:8 ~jm:6 ~km:6 ()
+
+(** The case-study grids of paper Fig 17/18: cubes of side 24…192. *)
+let case_study_sides = [ 24; 48; 96; 144; 192 ]
+
+let case_study_program ?(ty = Tytra_ir.Ty.Float 32) side =
+  program ~ty ~im:side ~jm:side ~km:side ()
+
+(** CPU-baseline workload description (single-threaded Fortran-like sweep:
+    ~16 arithmetic ops per point; traffic: read p×7 + rhs, write p — with
+    cache reuse of stencil neighbours, ≈ 3 words move per point). *)
+let cpu_workload ~(side : int) : Tytra_sim.Cpu_model.workload =
+  let points = side * side * side in
+  let word = 4 in
+  {
+    Tytra_sim.Cpu_model.wl_points = points;
+    wl_ops_per_point = 16;
+    wl_bytes_per_point = 3 * word;
+    wl_working_set = 2 * points * word;
+  }

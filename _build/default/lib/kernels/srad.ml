@@ -1,0 +1,62 @@
+(** SRAD — Rodinia's speckle-reducing anisotropic diffusion (ultrasound
+    image despeckling), added beyond the paper's three kernels.
+
+    A five-point stencil whose diffusion coefficient involves {e two
+    divisions} per point — the one primitive the paper's other kernels
+    never exercise, and exactly the operation whose quadratic ALUT cost
+    the calibration experiment (Fig 9) characterizes. The integer
+    version:
+
+    {v
+    dN,dS,dE,dW = neighbour differences
+    g2   = (dN² + dS² + dE² + dW²) / (c² + 1)
+    l    = dN + dS + dE + dW
+    coef = l / (g2 + q0)
+    c'   = c + lambda·coef
+    v} *)
+
+open Tytra_front
+open Expr
+
+let kernel ?(ty = Tytra_ir.Ty.UInt 18) ~(cols : int) () : kernel =
+  let fl = Tytra_ir.Ty.is_float ty in
+  let pval f i = if fl then param_float f else Int64.of_int i in
+  let c = input "c" in
+  let dn = sten "c" (-cols) -: c in
+  let ds = sten "c" cols -: c in
+  let de = sten "c" 1 -: c in
+  let dw = sten "c" (-1) -: c in
+  let g2 =
+    ((dn *: dn) +: (ds *: ds) +: (de *: de) +: (dw *: dw))
+    /: ((c *: c) +: ci 1)
+  in
+  let l = dn +: ds +: de +: dw in
+  let coef = l /: (g2 +: param "q0") in
+  {
+    k_name = "srad";
+    k_ty = ty;
+    k_inputs = [ "c" ];
+    k_params = [ ("q0", pval 0.5 3); ("lambda", pval 0.25 1) ];
+    k_outputs = [ { o_name = "c"; o_expr = c +: (param "lambda" *: coef) } ];
+    k_reductions =
+      [ { r_name = "diffusion"; r_op = Tytra_ir.Ast.Add; r_expr = coef;
+          r_init = 0L } ];
+  }
+
+(** [program ~rows ~cols ()] — one diffusion step over a [rows × cols]
+    image. *)
+let program ?(ty = Tytra_ir.Ty.UInt 18) ~rows ~cols () : program =
+  { p_kernel = kernel ~ty ~cols (); p_shape = [ rows; cols ] }
+
+(** Rodinia's default 502×458 image, at a divisor-friendly 512×448. *)
+let default_program () = program ~rows:512 ~cols:448 ()
+
+let cpu_workload ~(rows : int) ~(cols : int) : Tytra_sim.Cpu_model.workload =
+  let points = rows * cols in
+  let word = 4 in
+  {
+    Tytra_sim.Cpu_model.wl_points = points;
+    wl_ops_per_point = 24;
+    wl_bytes_per_point = 2 * word;
+    wl_working_set = 2 * points * word;
+  }

@@ -1,0 +1,30 @@
+(** Workload generation: deterministic pseudo-random input data for the
+    kernels' streams, used by the evaluator-based correctness tests and
+    the golden CPU references. *)
+
+open Tytra_front
+
+(** [random_env ?seed p] — an input array per kernel input stream, filled
+    with values representable at the kernel's type (floats in [0, 4) for
+    float kernels; small positive integers otherwise, so integer stencils
+    stay within range under multiply-accumulate). *)
+let random_env ?(seed = "workload") (p : Expr.program) : Eval.env =
+  let k = p.Expr.p_kernel in
+  let n = Expr.points p in
+  let fl = Tytra_ir.Ty.is_float k.Expr.k_ty in
+  List.map
+    (fun s ->
+      let rng = Tytra_sim.Prng.of_string (seed ^ ":" ^ s) in
+      let a =
+        Array.init n (fun _ ->
+            if fl then Int64.bits_of_float (Tytra_sim.Prng.range rng 0.0 4.0)
+            else Int64.of_int (Tytra_sim.Prng.int rng 64))
+      in
+      (s, a))
+    k.Expr.k_inputs
+
+(** The golden CPU reference: evaluate the baseline program — this is the
+    single-threaded reference implementation the FPGA variants are
+    checked against. *)
+let golden (p : Expr.program) (env : Eval.env) : Eval.result =
+  Eval.run_baseline p env

@@ -1,0 +1,1 @@
+lib/sim/cpu_model.ml: Float Tytra_device

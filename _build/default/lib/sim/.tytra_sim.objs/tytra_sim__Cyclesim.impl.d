@@ -1,0 +1,1 @@
+lib/sim/cyclesim.ml: Analysis Ast Dram Float Format Hostlink Int64 List Prng Ty Tytra_device Tytra_ir

@@ -1,0 +1,1 @@
+lib/sim/dram.ml: Array Int64 Tytra_device

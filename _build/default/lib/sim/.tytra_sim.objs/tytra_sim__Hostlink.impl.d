@@ -1,0 +1,1 @@
+lib/sim/hostlink.ml: Tytra_device

@@ -1,0 +1,1 @@
+lib/sim/power.ml: Tytra_device

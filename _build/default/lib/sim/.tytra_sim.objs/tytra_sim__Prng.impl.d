@@ -1,0 +1,1 @@
+lib/sim/prng.ml: Char Float Int64 String

@@ -1,0 +1,1 @@
+lib/sim/techmap.ml: Array Ast Config_tree Float Format Hashtbl List Opinfo Printf Prng Ty Tytra_device Tytra_hdl Tytra_ir

@@ -1,0 +1,41 @@
+(** CPU baseline timing model (the [cpu] series of the paper's §VII case
+    study: a Fortran implementation compiled with [gcc -O2] on an Intel
+    i7 quad-core at 1.6 GHz, single-threaded).
+
+    A classical roofline-style model: per sweep over the index space the
+    CPU is limited either by instruction issue (operations / (IPC ×
+    frequency)) or by memory traffic (bytes / sustained bandwidth) once
+    the working set falls out of the last-level cache. The kernel library
+    supplies per-point operation counts and byte traffic. *)
+
+type workload = {
+  wl_points : int;        (** index-space points per kernel instance *)
+  wl_ops_per_point : int; (** arithmetic ops per point *)
+  wl_bytes_per_point : int; (** DRAM traffic per point once out of cache *)
+  wl_working_set : int;   (** bytes touched per instance *)
+}
+
+let llc_bytes = 8 * 1024 * 1024
+
+(** [instance_s cpu w] — seconds for one kernel instance (one sweep). *)
+let instance_s (cpu : Tytra_device.Device.cpu) (w : workload) : float =
+  let compute =
+    float_of_int (w.wl_points * w.wl_ops_per_point)
+    /. (cpu.Tytra_device.Device.cpu_ipc *. cpu.Tytra_device.Device.cpu_freq_hz)
+  in
+  let mem =
+    if w.wl_working_set <= llc_bytes then
+      (* resident in cache after the first sweep: pay ~1/4 of the traffic *)
+      float_of_int (w.wl_points * w.wl_bytes_per_point)
+      /. (4.0 *. cpu.Tytra_device.Device.cpu_mem_bw)
+    else
+      float_of_int (w.wl_points * w.wl_bytes_per_point)
+      /. cpu.Tytra_device.Device.cpu_mem_bw
+  in
+  (* scalar code does not overlap compute and memory perfectly *)
+  Float.max compute mem +. (0.25 *. Float.min compute mem)
+
+(** [run_s cpu w ~nki] — seconds for [nki] kernel instances. *)
+let run_s (cpu : Tytra_device.Device.cpu) (w : workload) ~(nki : int) : float
+    =
+  float_of_int nki *. instance_s cpu w

@@ -1,0 +1,349 @@
+(** Cycle-level simulation of a TyTra-IR design on the platform model of
+    paper Fig 4 (host — PCIe — device DRAM — stream control — kernel
+    pipelines).
+
+    This simulator is the executable substrate standing in for the real
+    Maxeler/FPGA system: it produces the "actual" cycles-per-kernel-
+    instance numbers of Table II, the runtime series of Fig 17, and the
+    achieved-bandwidth figures behind Fig 15's communication walls.
+
+    The kernel datapath advances at the kernel clock, consuming one tuple
+    per lane per cycle (or one per [NTO] cycles for sequential configs)
+    whenever every input stream FIFO has data and every output FIFO has
+    space. A single shared DRAM controller serves all stream FIFOs
+    round-robin through the request-level {!Dram} model, so lane
+    contention, row-buffer locality and merge efficiency emerge from the
+    simulation rather than from a formula. Host transfers follow the
+    memory-execution form (paper Fig 6):
+
+    - Form A — host↔DRAM transfer for every kernel instance;
+    - Form B — one host transfer for all [NKI] instances;
+    - Form C — data resides on-chip; the instance loop is compute-bound. *)
+
+open Tytra_ir
+
+type form = A | B | C
+
+let form_to_string = function A -> "A" | B -> "B" | C -> "C"
+
+type result = {
+  r_form : form;
+  r_fmax_mhz : float;
+  r_nki : int;
+  r_cycles_per_ki : float;  (** kernel-clock cycles per kernel instance *)
+  r_time_per_ki_s : float;  (** device time per kernel instance *)
+  r_host_s : float;         (** total host-transfer time over the run *)
+  r_total_s : float;        (** wall time for the whole run *)
+  r_ekit : float;           (** effective kernel-instance throughput, 1/s *)
+  r_gmem_bps : float;       (** achieved device-DRAM bandwidth *)
+  r_host_bps : float;       (** achieved host-link bandwidth *)
+  r_stall_cycles : float;   (** kernel cycles lost waiting on streams *)
+  r_compute_bound : bool;   (** kernel (not memory) was the limiter *)
+}
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "form %s @ %.1f MHz: CPKI=%.0f, t/KI=%.3g s, host=%.3g s, total=%.3g s, \
+     EKIT=%.3g /s, gmem=%.2f GB/s, stalls=%.0f, %s-bound"
+    (form_to_string r.r_form) r.r_fmax_mhz r.r_cycles_per_ki r.r_time_per_ki_s
+    r.r_host_s r.r_total_s r.r_ekit (r.r_gmem_bps /. 1e9) r.r_stall_cycles
+    (if r.r_compute_bound then "compute" else "memory")
+
+(* ------------------------------------------------------------------ *)
+
+type sstate = {
+  ss_name : string;
+  ss_dir : Ast.dir;
+  ss_pattern : Ast.pattern;
+  ss_elem_bytes : int;
+  ss_total : int;              (* elements to move over one kernel instance *)
+  ss_merge : int;              (* elements per DRAM request *)
+  mutable ss_remaining : int;  (* reads: elements not yet fetched *)
+  mutable ss_fifo : int;       (* reads: buffered; writes: awaiting writeback *)
+  mutable ss_addr : int;
+  mutable ss_written : int;    (* writes: elements written back *)
+}
+
+let fifo_cap = 512
+
+let elem_bytes ty = (Ty.width ty + 7) / 8
+
+let make_streams (device : Tytra_device.Device.t) (d : Ast.design) :
+    sstate list =
+  (* distinct memory objects occupy distinct regions; stagger base rows so
+     lockstep streams open rows in distinct DRAM banks (5 is coprime with
+     the bank count, so bases cycle through all banks) *)
+  let row = device.Tytra_device.Device.dram.row_bytes in
+  let idx = ref (-1) in
+  List.filter_map
+    (fun (p : Ast.port) ->
+      incr idx;
+      match Ast.find_stream d p.pt_stream with
+      | None -> None
+      | Some s ->
+          let total =
+            match Ast.find_mem d s.so_mem with
+            | Some m -> m.mo_size
+            | None -> 0
+          in
+          let eb = elem_bytes p.pt_ty in
+          let merge =
+            match s.so_pattern with
+            | Ast.Cont ->
+                max 1 (device.Tytra_device.Device.dram.req_bytes / eb)
+            | Ast.Strided _ | Ast.Random -> 1
+          in
+          Some
+            {
+              ss_name = s.so_name;
+              ss_dir = p.pt_dir;
+              ss_pattern = s.so_pattern;
+              ss_elem_bytes = eb;
+              ss_total = total;
+              ss_merge = merge;
+              ss_remaining = (if p.pt_dir = Ast.IStream then total else 0);
+              ss_fifo = 0;
+              ss_addr = !idx * 5 * row;
+              ss_written = 0;
+            })
+    d.d_ports
+
+(* one DRAM request for stream [s]; returns seconds *)
+let serve (dram : Dram.t) (rng : Prng.t) (s : sstate) : float =
+  let bytes, stride_bytes =
+    match s.ss_pattern with
+    | Ast.Cont -> (s.ss_merge * s.ss_elem_bytes, s.ss_merge * s.ss_elem_bytes)
+    | Ast.Strided k -> (s.ss_elem_bytes, k * s.ss_elem_bytes)
+    | Ast.Random -> (s.ss_elem_bytes, 0)
+  in
+  let addr =
+    match s.ss_pattern with
+    | Ast.Random -> Prng.int rng (max 1 (s.ss_total * s.ss_elem_bytes))
+    | _ -> s.ss_addr
+  in
+  let merged = s.ss_pattern = Ast.Cont in
+  let dt = Dram.service_s dram ~addr ~bytes ~merged in
+  (match s.ss_pattern with
+  | Ast.Random -> ()
+  | _ -> s.ss_addr <- s.ss_addr + stride_bytes);
+  dt
+
+(** [run_instance] — simulate one kernel instance streaming from device
+    DRAM; returns (kernel cycles, stall cycles, dram state). *)
+let run_instance ~(device : Tytra_device.Device.t) ~(fd_hz : float)
+    ~(params : Analysis.params) (streams : sstate list) :
+    float * float * Dram.t =
+  let dram = Dram.create device.Tytra_device.Device.dram in
+  let rng = Prng.of_string "cyclesim" in
+  let reads = List.filter (fun s -> s.ss_dir = Ast.IStream) streams in
+  let writes = List.filter (fun s -> s.ss_dir = Ast.OStream) streams in
+  let nto = float_of_int (max 1 params.Analysis.nto) in
+  (* per-stream tuple target: each stream moves its own ss_total elements *)
+  let tuples_target =
+    List.fold_left (fun acc s -> max acc s.ss_total) 0 streams
+  in
+  let t = ref 0.0 in               (* seconds *)
+  let consumed = ref 0 in          (* tuples per lane consumed *)
+  let stall = ref 0.0 in
+  let t_k = ref 0.0 in             (* compute-time pointer *)
+  let carry = ref 0.0 in
+  (* ---- warm-up: stream the first Noff elements into the offset
+     windows of the offset-bearing stream ---- *)
+  (match reads with
+  | s :: _ when params.Analysis.noff > 0 ->
+      let elems = min params.Analysis.noff s.ss_remaining in
+      let reqs = (elems + s.ss_merge - 1) / s.ss_merge in
+      for _ = 1 to reqs do
+        t := !t +. serve dram rng s
+      done
+      (* the elements live in the offset windows; stream continues from
+         there, so do not decrement ss_remaining: the window look-ahead
+         means the stream is Noff ahead, which we model as extra demand *)
+  | _ -> ());
+  let warmup_t = !t in
+  t_k := !t;
+  (* ---- main loop ---- *)
+  let advance_to time =
+    if time > !t_k then begin
+      let cycles = ((time -. !t_k) *. fd_hz) +. !carry in
+      let budget = int_of_float (cycles /. nto) in
+      let min_read =
+        List.fold_left (fun a s -> min a s.ss_fifo) max_int reads
+      in
+      let min_read = if reads = [] then max_int else min_read in
+      let space =
+        List.fold_left (fun a s -> min a (fifo_cap - s.ss_fifo)) max_int writes
+      in
+      let space = if writes = [] then max_int else space in
+      let can =
+        min budget (min min_read space)
+        |> min (tuples_target - !consumed)
+        |> max 0
+      in
+      List.iter (fun s -> s.ss_fifo <- s.ss_fifo - can) reads;
+      List.iter (fun s -> s.ss_fifo <- s.ss_fifo + can) writes;
+      consumed := !consumed + can;
+      (* whole cycles the kernel idled waiting on FIFOs are lost (stall);
+         the sub-tuple fractional residue of the budget carries over to
+         the next event — dropping it would alias with the DRAM event
+         period and silently discard throughput *)
+      stall := !stall +. (float_of_int (budget - can) *. nto);
+      carry := Float.max 0.0 (cycles -. (float_of_int budget *. nto));
+      t_k := time
+    end
+  in
+  let next_service () =
+    (* round-robin preference: the hungriest read first, then ready writes *)
+    let read_cand =
+      List.filter (fun s -> s.ss_remaining > 0 && s.ss_fifo + s.ss_merge <= fifo_cap)
+        reads
+      |> List.sort (fun a b -> compare a.ss_fifo b.ss_fifo)
+    in
+    let write_cand =
+      List.filter
+        (fun s ->
+          s.ss_fifo >= s.ss_merge
+          || (!consumed >= tuples_target && s.ss_fifo > 0))
+        writes
+      |> List.sort (fun a b -> compare (-a.ss_fifo) (-b.ss_fifo))
+    in
+    match (read_cand, write_cand) with
+    | r :: _, w :: _ -> if w.ss_fifo >= fifo_cap / 2 then Some w else Some r
+    | r :: _, [] -> Some r
+    | [], w :: _ -> Some w
+    | [], [] -> None
+  in
+  let writes_flushed () = List.for_all (fun s -> s.ss_fifo = 0) writes in
+  let guard = ref 0 in
+  let max_iters =
+    (* every iteration serves ≥1 element or advances compute; generous cap *)
+    let total_elems = List.fold_left (fun a s -> a + s.ss_total) 16 streams in
+    (total_elems * 4) + 1_000_000
+  in
+  while
+    (!consumed < tuples_target || not (writes_flushed ()))
+    && !guard < max_iters
+  do
+    incr guard;
+    (match next_service () with
+    | Some s ->
+        let dt = serve dram rng s in
+        t := !t +. dt;
+        advance_to !t;
+        if s.ss_dir = Ast.IStream then begin
+          let batch = min s.ss_merge s.ss_remaining in
+          s.ss_remaining <- s.ss_remaining - batch;
+          s.ss_fifo <- min fifo_cap (s.ss_fifo + batch)
+        end
+        else begin
+          let batch = min s.ss_merge s.ss_fifo in
+          s.ss_fifo <- s.ss_fifo - batch;
+          s.ss_written <- s.ss_written + batch
+        end
+    | None ->
+        (* compute-bound: run the kernel until a FIFO needs service *)
+        let needed = tuples_target - !consumed in
+        let step = max 1 (min needed (fifo_cap / 2)) in
+        let dt = float_of_int step *. nto /. fd_hz in
+        t := !t +. dt;
+        advance_to !t)
+  done;
+  (* pipeline drain *)
+  let drain = float_of_int params.Analysis.kpd /. fd_hz in
+  let total_t = !t +. drain in
+  let cycles = (total_t *. fd_hz) +. 0.0 in
+  ignore warmup_t;
+  (cycles, !stall, dram)
+
+(** [run ?device ?fmax_mhz ?form ?nki d] — simulate [nki] kernel-instance
+    executions of design [d]. [fmax_mhz] defaults to the device's derated
+    base clock; pass the tech-mapper's figure for closed-timing results. *)
+let run ?(device = Tytra_device.Device.stratixv_gsd8) ?fmax_mhz ?(form = B)
+    ?(nki = 1) (d : Ast.design) : result =
+  let params = Analysis.params d in
+  let fmax =
+    match fmax_mhz with
+    | Some f -> f
+    | None -> device.Tytra_device.Device.fmax_base_mhz
+  in
+  let fd_hz = fmax *. 1e6 in
+  let in_bytes, out_bytes =
+    List.fold_left
+      (fun (i, o) (p : Ast.port) ->
+        match Ast.find_stream d p.pt_stream with
+        | None -> (i, o)
+        | Some s ->
+            let total =
+              match Ast.find_mem d s.so_mem with Some m -> m.mo_size | None -> 0
+            in
+            let b = total * elem_bytes p.pt_ty in
+            if p.pt_dir = Ast.IStream then (i + b, o) else (i, o + b))
+      (0, 0) d.d_ports
+  in
+  let host_one =
+    Hostlink.transfer_s device.Tytra_device.Device.link ~bytes:in_bytes
+    +. Hostlink.transfer_s device.Tytra_device.Device.link ~bytes:out_bytes
+  in
+  let launch = device.Tytra_device.Device.dram.launch_overhead_s in
+  match form with
+  | C ->
+      (* on-chip data: compute-bound instance loop *)
+      let tuples =
+        List.fold_left (fun acc (m : Ast.mem_obj) -> max acc m.mo_size) 0
+          d.d_mems
+      in
+      let cycles =
+        float_of_int
+          (params.Analysis.noff + params.Analysis.kpd
+          + (tuples * max 1 params.Analysis.nto))
+      in
+      let t_ki = (cycles /. fd_hz) +. launch in
+      let total = host_one +. (float_of_int nki *. t_ki) in
+      {
+        r_form = C;
+        r_fmax_mhz = fmax;
+        r_nki = nki;
+        r_cycles_per_ki = cycles;
+        r_time_per_ki_s = t_ki;
+        r_host_s = host_one;
+        r_total_s = total;
+        r_ekit = float_of_int nki /. total;
+        r_gmem_bps = 0.0;
+        r_host_bps =
+          (if host_one > 0.0 then
+             float_of_int (in_bytes + out_bytes) /. host_one
+           else 0.0);
+        r_stall_cycles = 0.0;
+        r_compute_bound = true;
+      }
+  | A | B ->
+      let streams = make_streams device d in
+      let cycles, stalls, dram =
+        run_instance ~device ~fd_hz ~params streams
+      in
+      let t_ki = (cycles /. fd_hz) +. launch in
+      let host_total =
+        match form with
+        | A -> float_of_int nki *. host_one
+        | B | C -> host_one
+      in
+      let total = host_total +. (float_of_int nki *. t_ki) in
+      let moved = Int64.to_float dram.Dram.bytes_moved in
+      {
+        r_form = form;
+        r_fmax_mhz = fmax;
+        r_nki = nki;
+        r_cycles_per_ki = cycles;
+        r_time_per_ki_s = t_ki;
+        r_host_s = host_total;
+        r_total_s = total;
+        r_ekit = float_of_int nki /. total;
+        r_gmem_bps = (if t_ki > 0.0 then moved /. t_ki else 0.0);
+        r_host_bps =
+          (if host_one > 0.0 then
+             float_of_int (in_bytes + out_bytes) /. host_one
+           else 0.0);
+        r_stall_cycles = stalls;
+        r_compute_bound =
+          stalls < 0.05 *. cycles;
+      }

@@ -1,0 +1,18 @@
+(** Host–device link (PCIe) transfer-time model. *)
+
+(** [transfer_s link ~bytes] — seconds to move [bytes] across the link in
+    one DMA transfer: per-transfer setup latency plus the payload at
+    protocol-efficiency-derated peak. *)
+let transfer_s (link : Tytra_device.Device.link_cfg) ~(bytes : int) : float =
+  if bytes <= 0 then 0.0
+  else
+    link.Tytra_device.Device.link_latency_s
+    +. (float_of_int bytes
+        /. (link.Tytra_device.Device.link_peak_bps
+            *. link.Tytra_device.Device.link_eff))
+
+(** Effective bandwidth of a transfer of [bytes], bytes/s. *)
+let effective_bps (link : Tytra_device.Device.link_cfg) ~(bytes : int) : float
+    =
+  if bytes <= 0 then 0.0
+  else float_of_int bytes /. transfer_s link ~bytes

@@ -1,0 +1,50 @@
+(** Activity-based power and energy model (paper Fig 18: "increase in
+    power from the idle CPU power, for both CPU-only and CPU–FPGA
+    solutions").
+
+    FPGA delta power = static (configuration + clocking) + per-resource
+    dynamic power scaled by the kernel clock + interface power
+    proportional to the bandwidth actually moved. CPU delta power is the
+    package-active figure of the host description. *)
+
+(** FPGA power above board idle, watts. *)
+let fpga_delta_w (device : Tytra_device.Device.t)
+    (u : Tytra_device.Resources.usage) ~(fmax_mhz : float)
+    ~(gmem_bps : float) ~(host_bps : float) : float =
+  let p = device.Tytra_device.Device.power in
+  let fscale = fmax_mhz /. p.Tytra_device.Device.pw_ref_mhz in
+  p.Tytra_device.Device.pw_static_w
+  +. (float_of_int u.Tytra_device.Resources.aluts
+      *. p.Tytra_device.Device.pw_alut_w *. fscale)
+  +. (float_of_int u.Tytra_device.Resources.regs
+      *. p.Tytra_device.Device.pw_reg_w *. fscale)
+  +. (float_of_int u.Tytra_device.Resources.bram_blocks
+      *. p.Tytra_device.Device.pw_bram_block_w *. fscale)
+  +. (float_of_int u.Tytra_device.Resources.dsps
+      *. p.Tytra_device.Device.pw_dsp_w *. fscale)
+  +. (gmem_bps /. 1e9 *. p.Tytra_device.Device.pw_dram_w_per_gbs)
+  +. (host_bps /. 1e9 *. p.Tytra_device.Device.pw_link_w_per_gbs)
+
+(** CPU package power above idle while computing, watts. *)
+let cpu_delta_w (cpu : Tytra_device.Device.cpu) : float =
+  cpu.Tytra_device.Device.cpu_active_w
+
+(** Energy above idle for a run of [seconds] at [delta_w] watts. *)
+let energy_j ~(delta_w : float) ~(seconds : float) : float =
+  delta_w *. seconds
+
+(** Energy for an FPGA run: device delta power applied over device time,
+    plus host-side transfer power applied over host time (the host still
+    burns some active power while driving DMA). *)
+let fpga_run_energy_j (device : Tytra_device.Device.t)
+    (cpu : Tytra_device.Device.cpu) (u : Tytra_device.Resources.usage)
+    ~(fmax_mhz : float) ~(gmem_bps : float) ~(host_bps : float)
+    ~(device_s : float) ~(host_s : float) : float =
+  let p_dev = fpga_delta_w device u ~fmax_mhz ~gmem_bps ~host_bps in
+  let p_host_during_dma = 0.25 *. cpu_delta_w cpu in
+  (p_dev *. (device_s +. host_s)) +. (p_host_during_dma *. host_s)
+
+(** Energy for a CPU-only run. *)
+let cpu_run_energy_j (cpu : Tytra_device.Device.cpu) ~(seconds : float) :
+    float =
+  cpu_delta_w cpu *. seconds

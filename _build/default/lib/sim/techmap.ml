@@ -1,0 +1,381 @@
+(** Technology mapper — the detailed, slow elaboration that plays the role
+    of vendor synthesis in this reproduction (see DESIGN.md §2).
+
+    Where the analytic cost model (in [tytra_cost]) evaluates closed-form
+    expressions per instruction, the tech-mapper {e elaborates} the design:
+    it expands every scheduled instruction into device primitives (ALUT
+    cells with carry chains, 18×18 DSP tiles, block-RAM macros), allocates
+    BRAM at block granularity, packs glue logic, and runs a
+    simulated-annealing placement of the resulting netlist to estimate the
+    achievable clock. Its outputs are the "Actual" rows of the paper's
+    Table II and the synthesis points from which the cost model's
+    expressions are fitted (paper Fig 9).
+
+    Determinism: all noise comes from {!Prng} seeded by
+    (design, device, resource class). *)
+
+open Tytra_ir
+
+(* ------------------------------------------------------------------ *)
+(* Primitive elaboration rules (ALUT / DSP / reg cells per operation)  *)
+(* ------------------------------------------------------------------ *)
+
+let ceil_div a b = (a + b - 1) / b
+
+(** ALUT cells for one functional unit. These integer rules are the
+    device-level "truth" the cost model's fitted polynomials approximate:
+    e.g. unsigned division elaborates to one restoring stage per quotient
+    bit, [w + 4] ALUTs per stage less end-stage optimizations — the
+    quadratic trend of the paper's Fig 9. *)
+let alut_cells (op : Ast.op) (ty : Ty.t) : int =
+  let w = Ty.width ty in
+  if Ty.is_float ty then
+    match op with
+    | Ast.Add | Ast.Sub -> if w = 32 then 480 else 1050
+    | Ast.Mul -> if w = 32 then 130 else 410
+    | Ast.Div -> if w = 32 then 820 else 3150
+    | Ast.Sqrt -> if w = 32 then 460 else 1900
+    | Ast.CmpEq | Ast.CmpNe | Ast.CmpLt | Ast.CmpLe | Ast.CmpGt | Ast.CmpGe
+      -> 60
+    | Ast.Min | Ast.Max -> 90
+    | Ast.Abs | Ast.Neg -> 2
+    | Ast.Select -> ceil_div w 2
+    | Ast.Mov -> 0
+    | _ -> 40
+  else
+    match op with
+    | Ast.Add | Ast.Sub -> w
+    | Ast.Mul ->
+        let tiles = ceil_div w 18 in
+        if tiles <= 1 then 4 else ((tiles - 1) * 2 * w) + 20
+    | Ast.Div | Ast.Rem ->
+        (* w restoring stages of (w+4) ALUTs, minus shared end-stage
+           logic: w^2 + 4w - 3w/10 - 10 ≈ the paper's x^2+3.7x-10.6 *)
+        max 2 ((w * w) + (4 * w) - (3 * w / 10) - 10)
+    | Ast.Sqrt -> max 2 ((w / 2 * (w + 3)) - 6)
+    | Ast.And | Ast.Or | Ast.Xor -> ceil_div w 2
+    | Ast.Not -> ceil_div w 8 + 1
+    | Ast.Shl | Ast.Shr ->
+        (* barrel shifter; constant shifts are free wiring but the IR
+           does not distinguish, so assume variable *)
+        let stages = max 1 (int_of_float (ceil (log (float_of_int w) /. log 2.))) in
+        ceil_div (w * stages) 2
+    | Ast.Min | Ast.Max -> w + ceil_div w 2
+    | Ast.Abs -> if Ty.is_signed ty then w else 0
+    | Ast.Neg -> w
+    | Ast.CmpEq | Ast.CmpNe -> ceil_div w 3 + 1
+    | Ast.CmpLt | Ast.CmpLe | Ast.CmpGt | Ast.CmpGe -> ceil_div w 2 + 1
+    | Ast.Select -> ceil_div w 2
+    | Ast.Mov -> 0
+
+(** DSP tiles for one functional unit (18×18 multiplier granularity;
+    above one tile, partial products pair across half-DSP columns). *)
+let dsp_cells (op : Ast.op) (ty : Ty.t) : int =
+  let w = Ty.width ty in
+  if Ty.is_float ty then
+    match op with
+    | Ast.Mul -> if w = 32 then 2 else 8
+    | Ast.Add | Ast.Sub -> if w = 32 then 0 else 2
+    | _ -> 0
+  else
+    match op with
+    | Ast.Mul ->
+        let tiles = ceil_div w 18 in
+        if tiles <= 1 then 1 else 2 * tiles
+    | _ -> 0
+
+(** Constant per-instance infrastructure. *)
+let stream_ctrl_aluts = 58
+let stream_ctrl_regs = 94
+let top_glue_aluts = 26
+let top_glue_regs = 40
+let lane_glue_aluts = 9
+let lane_glue_regs = 12
+
+(* ------------------------------------------------------------------ *)
+(* Netlist construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+type netlist = {
+  n_cells : int;                   (** abstract placeable cells *)
+  n_edges : (int * int) array;     (** connectivity for placement *)
+}
+
+(* Build an abstract connectivity graph: each instruction occupies a
+   contiguous run of cells chained internally; dataflow edges connect the
+   producer's last cell to the consumer's first. *)
+let build_netlist (d : Ast.design) (pes : Ast.func list) : netlist =
+  let edges = ref [] in
+  let count = ref 0 in
+  let alloc n =
+    let base = !count in
+    count := !count + max 1 n;
+    for k = base + 1 to base + n - 1 do
+      edges := (k - 1, k) :: !edges
+    done;
+    base
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      let producer = Hashtbl.create 16 in
+      List.iter
+        (fun (n, ty) -> Hashtbl.replace producer n (alloc (Ty.width ty / 6 + 1)))
+        f.fn_params;
+      List.iter
+        (fun (i : Ast.instr) ->
+          match i with
+          | Ast.Offset { dst; ty; src; _ } ->
+              let base = alloc (Ty.width ty / 6 + 1) in
+              (match src with
+              | Ast.Var v -> (
+                  match Hashtbl.find_opt producer v with
+                  | Some p -> edges := (p, base) :: !edges
+                  | None -> ())
+              | _ -> ());
+              Hashtbl.replace producer dst base
+          | Ast.Assign { dst; ty; op; args } ->
+              let n = max 1 (alut_cells op ty) in
+              let base = alloc n in
+              List.iter
+                (function
+                  | Ast.Var v -> (
+                      match Hashtbl.find_opt producer v with
+                      | Some p -> edges := (p, base) :: !edges
+                      | None -> ())
+                  | _ -> ())
+                args;
+              (match dst with
+              | Ast.Dlocal nm -> Hashtbl.replace producer nm (base + n - 1)
+              | Ast.Dglobal _ -> ())
+          | Ast.Call _ -> ())
+        f.fn_body)
+    pes;
+  ignore d;
+  { n_cells = max 1 !count; n_edges = Array.of_list !edges }
+
+(* ------------------------------------------------------------------ *)
+(* Placement by simulated annealing                                    *)
+(* ------------------------------------------------------------------ *)
+
+type placement_result = {
+  pl_avg_wire : float;    (** mean Manhattan edge length after annealing *)
+  pl_grid : int;
+  pl_moves : int;
+}
+
+(** [place ~rng ~effort nl] runs a swap-based annealer on a √n grid. The
+    [effort] knob scales the number of passes — the main cost of a
+    tech-map run, mirroring how placement dominates vendor-tool runtime. *)
+let place ~(rng : Prng.t) ~(effort : int) (nl : netlist) : placement_result =
+  let n = nl.n_cells in
+  let grid = int_of_float (ceil (sqrt (float_of_int n))) in
+  let pos = Array.init n (fun i -> (i mod grid, i / grid)) in
+  let loc_of = Hashtbl.create n in
+  Array.iteri (fun i p -> Hashtbl.replace loc_of i p) pos;
+  let edge_len (a, b) =
+    let ax, ay = pos.(a) and bx, by = pos.(b) in
+    abs (ax - bx) + abs (ay - by)
+  in
+  (* adjacency: edges touching each cell *)
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun ei (a, b) ->
+      if a < n && b < n then begin
+        adj.(a) <- ei :: adj.(a);
+        adj.(b) <- ei :: adj.(b)
+      end)
+    nl.n_edges;
+  let total = ref 0 in
+  Array.iter (fun e -> total := !total + edge_len e) nl.n_edges;
+  let moves = effort * n in
+  let temp0 = 4.0 +. (float_of_int grid /. 4.0) in
+  for m = 0 to moves - 1 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    if a <> b then begin
+      let cost_around c =
+        List.fold_left (fun acc ei -> acc + edge_len nl.n_edges.(ei)) 0 adj.(c)
+      in
+      let before = cost_around a + cost_around b in
+      let pa = pos.(a) and pb = pos.(b) in
+      pos.(a) <- pb;
+      pos.(b) <- pa;
+      let after = cost_around a + cost_around b in
+      let dc = after - before in
+      let t = temp0 *. (1.0 -. (float_of_int m /. float_of_int moves)) in
+      let accept =
+        dc <= 0
+        || (t > 0.01 && Prng.float rng < exp (-.float_of_int dc /. t))
+      in
+      if accept then total := !total + dc
+      else begin
+        pos.(a) <- pa;
+        pos.(b) <- pb
+      end
+    end
+  done;
+  let nedges = max 1 (Array.length nl.n_edges) in
+  {
+    pl_avg_wire = float_of_int !total /. float_of_int nedges;
+    pl_grid = grid;
+    pl_moves = moves;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Full tech-map run                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  tm_usage : Tytra_device.Resources.usage;
+  tm_fmax_mhz : float;
+  tm_cells : int;
+  tm_avg_wire : float;
+  tm_device : string;
+  tm_design : string;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt "%s on %s: %a, Fmax %.1f MHz (%d cells, wire %.2f)"
+    r.tm_design r.tm_device Tytra_device.Resources.pp r.tm_usage r.tm_fmax_mhz
+    r.tm_cells r.tm_avg_wire
+
+(** Map one functional unit in isolation — the "synthesis experiment" used
+    for calibration (paper Fig 9 was generated from exactly such runs at
+    18, 32 and 64 bits). *)
+let map_unit ?(device = Tytra_device.Device.stratixv_gsd8) (op : Ast.op)
+    (ty : Ty.t) : Tytra_device.Resources.usage =
+  let rng =
+    Prng.of_string
+      (Printf.sprintf "unit:%s:%s:%s" device.Tytra_device.Device.dev_name
+         (Ast.op_to_string op) (Ty.to_string ty))
+  in
+  let aluts = alut_cells op ty in
+  (* synthesis noise on glue-heavy units only; carry-chain structures map
+     exactly *)
+  let aluts =
+    match op with
+    | Ast.Div | Ast.Rem | Ast.Sqrt ->
+        int_of_float (Float.round (float_of_int aluts *. Prng.noise rng 0.004))
+    | _ -> aluts
+  in
+  let regs = Opinfo.latency op ty * Ty.width ty in
+  {
+    Tytra_device.Resources.aluts;
+    regs;
+    bram_bits = 0;
+    bram_blocks = 0;
+    dsps = dsp_cells op ty;
+  }
+
+(** Effort level for the placement annealer (passes over the netlist).
+    [`Fast] for tests, [`Full] for the Table II / speed-claim runs. *)
+let effort_passes = function `Fast -> 4 | `Normal -> 40 | `Full -> 220
+
+(** [run ~device ~effort d] — elaborate, pack, allocate and place design
+    [d] for [device]; returns the detailed resource/Fmax report. This is
+    the expensive path (seconds for multi-lane designs at [`Full] effort);
+    compare with the sub-millisecond analytic estimator. *)
+let run ?(device = Tytra_device.Device.stratixv_gsd8) ?(effort = `Normal)
+    (d : Ast.design) : report =
+  let summary = Config_tree.classify d in
+  let pe_names = summary.Config_tree.cs_pes in
+  let pes = List.filter_map (Ast.find_func d) pe_names in
+  let rng =
+    Prng.of_string
+      (Printf.sprintf "techmap:%s:%s" device.Tytra_device.Device.dev_name
+         d.Ast.d_name)
+  in
+  (* --- datapath cells, per PE instance --- *)
+  let aluts = ref 0 and regs = ref 0 and dsps = ref 0 in
+  List.iter
+    (fun (f : Ast.func) ->
+      let sched = Tytra_hdl.Schedule.schedule_func d f in
+      List.iter
+        (fun (i : Ast.instr) ->
+          match i with
+          | Ast.Assign { op = (Ast.Shl | Ast.Shr) as op; ty;
+                         args = [ _; Ast.Imm _ ]; _ } ->
+              (* constant shift: wiring only; the stage register remains *)
+              regs := !regs + (Opinfo.latency op ty * Ty.width ty)
+          | Ast.Assign { op; ty; _ } ->
+              aluts := !aluts + alut_cells op ty;
+              dsps := !dsps + dsp_cells op ty;
+              let rw =
+                match op with
+                | Ast.CmpEq | Ast.CmpNe | Ast.CmpLt | Ast.CmpLe | Ast.CmpGt
+                | Ast.CmpGe -> 1
+                | _ -> Ty.width ty
+              in
+              regs := !regs + (Opinfo.latency op ty * rw)
+          | _ -> ())
+        f.fn_body;
+      regs := !regs + sched.Tytra_hdl.Schedule.sc_delay_regs;
+      (* valid chain *)
+      regs := !regs + sched.Tytra_hdl.Schedule.sc_depth + 1;
+      aluts := !aluts + lane_glue_aluts;
+      regs := !regs + lane_glue_regs)
+    pes;
+  (* --- offset buffers: BRAM at block granularity, or registers --- *)
+  let bram_bits = ref 0 and bram_blocks = ref 0 in
+  let block_bits = device.Tytra_device.Device.bram_block_bits in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (b : Tytra_hdl.Offsetbuf.buf) ->
+          if b.Tytra_hdl.Offsetbuf.ob_in_bram then begin
+            (* physical mapping: width-wise slices of M20K/BRAM36; the
+               usable bits are the window bits, blocks round up *)
+            bram_bits := !bram_bits + b.Tytra_hdl.Offsetbuf.ob_bits;
+            bram_blocks :=
+              !bram_blocks + ceil_div b.Tytra_hdl.Offsetbuf.ob_bits block_bits;
+            (* address/control logic per BRAM window *)
+            aluts := !aluts + 11;
+            regs := !regs + 18
+          end
+          else
+            regs := !regs + b.Tytra_hdl.Offsetbuf.ob_bits)
+        (Tytra_hdl.Offsetbuf.of_func f))
+    pes;
+  (* --- stream control and top glue --- *)
+  let nstreams = List.length d.Ast.d_streams in
+  aluts := !aluts + (nstreams * stream_ctrl_aluts) + top_glue_aluts;
+  regs := !regs + (nstreams * stream_ctrl_regs) + top_glue_regs;
+  (* --- packing/synthesis variation --- *)
+  let aluts_f = float_of_int !aluts *. Prng.noise rng 0.035 in
+  let regs_f = float_of_int !regs *. Prng.noise rng 0.045 in
+  let bram_f = float_of_int !bram_bits *. Prng.noise rng 0.004 in
+  (* DSP merging: synthesis occasionally shares/repacks DSP tiles *)
+  let dsps_v =
+    if !dsps > 4 && Prng.float rng < 0.5 then
+      !dsps - 1 - Prng.int rng (max 1 (!dsps / 8))
+    else !dsps
+  in
+  let usage =
+    {
+      Tytra_device.Resources.aluts = int_of_float (Float.round aluts_f);
+      regs = int_of_float (Float.round regs_f);
+      bram_bits = int_of_float (Float.round bram_f);
+      bram_blocks = !bram_blocks;
+      dsps = dsps_v;
+    }
+  in
+  (* --- placement and timing closure --- *)
+  let nl = build_netlist d pes in
+  let pl = place ~rng ~effort:(effort_passes effort) nl in
+  let util = Tytra_device.Resources.max_utilization device usage in
+  let base = device.Tytra_device.Device.fmax_base_mhz in
+  let congestion = pl.pl_avg_wire /. float_of_int (max 1 pl.pl_grid) in
+  let fmax =
+    base
+    /. (1.0 +. (0.55 *. congestion))
+    *. (1.0 -. (0.25 *. Float.min 1.0 util))
+    *. Prng.noise rng 0.02
+  in
+  let fmax = Float.max (0.4 *. base) (Float.min base fmax) in
+  {
+    tm_usage = usage;
+    tm_fmax_mhz = fmax;
+    tm_cells = nl.n_cells;
+    tm_avg_wire = pl.pl_avg_wire;
+    tm_device = device.Tytra_device.Device.dev_name;
+    tm_design = d.Ast.d_name;
+  }

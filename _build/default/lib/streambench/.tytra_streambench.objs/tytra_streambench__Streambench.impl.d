@@ -1,0 +1,1 @@
+lib/streambench/streambench.ml: Format List Printf Tytra_device Tytra_sim

@@ -1,0 +1,122 @@
+(** STREAM-like sustained-bandwidth benchmark (paper §V-C, Fig 10).
+
+    The paper extends McCalpin's STREAM benchmark to OpenCL-on-FPGA
+    (following GPU-STREAM) and measures the sustained bandwidth of a copy
+    stream over a square 2-D array, contiguous and at a constant stride
+    equal to the array side. Here the same access sequences run against
+    the simulated memory system ({!Tytra_sim.Dram}) — including the
+    kernel-launch overhead that dominates small sizes — regenerating the
+    Fig 10 curve family and the calibration tables the cost model's ρ
+    factors come from. *)
+
+type measurement = {
+  m_side : int;          (** side of the square 2-D array *)
+  m_bytes : int;         (** total bytes in the array *)
+  m_pattern : [ `Cont | `Strided | `Random ];
+  m_seconds : float;
+  m_bps : float;         (** sustained bandwidth, bytes/s *)
+}
+
+let pattern_to_string = function
+  | `Cont -> "contiguous"
+  | `Strided -> "strided"
+  | `Random -> "random"
+
+let pp fmt m =
+  Format.fprintf fmt "%5d  %10d B  %-10s  %8.3f Gbit/s" m.m_side m.m_bytes
+    (pattern_to_string m.m_pattern)
+    (m.m_bps *. 8.0 /. 1e9)
+
+(** [copy ?elem_bytes device pattern ~side] — stream-read a [side²]
+    array and stream-write the result (STREAM "copy"): the measured
+    figure is total bytes moved over total time, launch overhead
+    included. Strided access walks the array column-major with stride
+    [side] (the paper's "stride equals the side"); random uses
+    fixed-seed pseudo-random addresses (which §V-C reports behaves like
+    strided — verified in the tests). *)
+let copy ?(elem_bytes = 4) (device : Tytra_device.Device.t)
+    (pattern : [ `Cont | `Strided | `Random ]) ~(side : int) : measurement =
+  let n = side * side in
+  let bytes_total = n * elem_bytes in
+  let dram = Tytra_sim.Dram.create device.Tytra_device.Device.dram in
+  let rng = Tytra_sim.Prng.of_string (Printf.sprintf "streambench:%d" side) in
+  let t = ref device.Tytra_device.Device.dram.launch_overhead_s in
+  (match pattern with
+  | `Cont ->
+      (* merged linear requests; read stream + write stream interleave *)
+      let merge = max 1 (device.Tytra_device.Device.dram.req_bytes / elem_bytes) in
+      let reqs = (n + merge - 1) / merge in
+      let row = device.Tytra_device.Device.dram.row_bytes in
+      (* the write region starts a few rows past the read region so the two
+         streams keep distinct rows (and banks) open *)
+      let wbase = (((bytes_total + row - 1) / row) + 3) * row in
+      let raddr = ref 0 and waddr = ref wbase in
+      for _ = 1 to reqs do
+        let b = merge * elem_bytes in
+        t := !t +. Tytra_sim.Dram.service_s dram ~addr:!raddr ~bytes:b ~merged:true;
+        raddr := !raddr + b;
+        t := !t +. Tytra_sim.Dram.service_s dram ~addr:!waddr ~bytes:b ~merged:true;
+        waddr := !waddr + b
+      done
+  | `Strided ->
+      (* column-major walk: element (i) at address ((i mod side)*side +
+         i/side); every access is a separate request *)
+      for i = 0 to n - 1 do
+        let row = i mod side and col = i / side in
+        let addr = ((row * side) + col) * elem_bytes in
+        t := !t
+             +. Tytra_sim.Dram.service_s dram ~addr ~bytes:elem_bytes
+                  ~merged:false;
+        t := !t
+             +. Tytra_sim.Dram.service_s dram ~addr:(bytes_total + addr)
+                  ~bytes:elem_bytes ~merged:false
+      done
+  | `Random ->
+      for _ = 0 to n - 1 do
+        let addr = Tytra_sim.Prng.int rng bytes_total in
+        t := !t
+             +. Tytra_sim.Dram.service_s dram ~addr ~bytes:elem_bytes
+                  ~merged:false;
+        let addr2 = bytes_total + Tytra_sim.Prng.int rng bytes_total in
+        t := !t
+             +. Tytra_sim.Dram.service_s dram ~addr:addr2 ~bytes:elem_bytes
+                  ~merged:false
+      done);
+  let moved = 2 * bytes_total in
+  {
+    m_side = side;
+    m_bytes = bytes_total;
+    m_pattern = pattern;
+    m_seconds = !t;
+    m_bps = float_of_int moved /. !t;
+  }
+
+(** The Fig 10 sweep: sides 100…6000 contiguous; the paper's strided
+    points at a subset of sides. Strided points above side 2000 are
+    subsampled (the full column walk is O(side²) requests). *)
+let default_cont_sides = [ 100; 200; 400; 600; 1000; 1500; 2000; 2500; 3000; 4000; 5000; 6000 ]
+let default_strided_sides = [ 100; 500; 1000; 2000 ]
+
+(** [sweep device] — the full benchmark: one measurement per (pattern,
+    side). *)
+let sweep ?(cont_sides = default_cont_sides)
+    ?(strided_sides = default_strided_sides) (device : Tytra_device.Device.t)
+    : measurement list =
+  List.map (fun s -> copy device `Cont ~side:s) cont_sides
+  @ List.map (fun s -> copy device `Strided ~side:s) strided_sides
+  @ List.map (fun s -> copy device `Random ~side:s) strided_sides
+
+(** [to_calib device ms] — package a sweep as the cost model's empirical
+    calibration (the "one-time benchmark experiments" input of paper
+    Fig 2). *)
+let to_calib (device : Tytra_device.Device.t) (ms : measurement list) :
+    Tytra_device.Bandwidth.calib =
+  let pick pat =
+    List.filter_map
+      (fun m ->
+        if m.m_pattern = pat then Some (float_of_int m.m_bytes, m.m_bps)
+        else None)
+      ms
+  in
+  Tytra_device.Bandwidth.make ~device:device.Tytra_device.Device.dev_name
+    ~cont:(pick `Cont) ~strided:(pick `Strided) ~random:(pick `Random)

@@ -1,0 +1,1 @@
+test/gen.ml: Array Chain Expr Int64 List Printf QCheck Transform Tytra_front Tytra_ir Vtype

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Config_tree List Lower Parser Transform Tytra_front Tytra_ir Tytra_kernels Validate

@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Array C_front Eval Expr Int64 List Lower Transform Tytra_front Tytra_ir Tytra_kernels

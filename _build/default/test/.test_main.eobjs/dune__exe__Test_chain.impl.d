@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Chain Eval Expr Gen Int64 List QCheck QCheck_alcotest String Transform Tytra_cost Tytra_device Tytra_front Tytra_hdl Tytra_ir Tytra_sim

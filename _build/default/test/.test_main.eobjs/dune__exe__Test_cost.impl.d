@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Ast Fit Float Limits List Printf Report Resource_model String Throughput Ty Tytra_cost Tytra_device Tytra_front Tytra_ir Tytra_kernels Tytra_sim

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Bandwidth Calib_io Device Filename Float List Printf Resources Tytra_device

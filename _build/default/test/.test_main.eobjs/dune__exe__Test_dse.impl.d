@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Dse List Transform Tytra_cost Tytra_device Tytra_dse Tytra_front Tytra_kernels

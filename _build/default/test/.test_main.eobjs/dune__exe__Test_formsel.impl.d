@@ -1,0 +1,1 @@
+test/test_formsel.ml: Alcotest Formsel List Lower Roofline Throughput Transform Tytra_cost Tytra_front Tytra_kernels

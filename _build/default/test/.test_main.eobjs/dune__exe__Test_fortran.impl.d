@@ -1,0 +1,1 @@
+test/test_fortran.ml: Alcotest Array Eval Expr Fortran Int64 List Lower Transform Tytra_front Tytra_ir Tytra_kernels

@@ -1,0 +1,1 @@
+test/test_front.ml: Alcotest Array Eval Expr Gen List Lower Printf QCheck QCheck_alcotest Transform Tytra_front Tytra_ir Tytra_kernels Vtype

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Float List Lower Printf String Sys Transform Tytra_cost Tytra_device Tytra_front Tytra_hdl Tytra_ir Tytra_kernels Tytra_sim Unix

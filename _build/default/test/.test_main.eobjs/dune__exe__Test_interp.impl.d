@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Ast Int64 Interp List Parser QCheck QCheck_alcotest Ty Tytra_front Tytra_ir Tytra_kernels Validate

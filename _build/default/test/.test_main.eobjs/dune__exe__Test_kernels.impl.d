@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Analysis Array Ast Eval Expr Float Int64 List Lower Printf Stdlib Transform Ty Tytra_cost Tytra_device Tytra_front Tytra_ir Tytra_kernels Tytra_sim

@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Analysis Ast Gen Interp List Optim Parser QCheck QCheck_alcotest Ty Tytra_cost Tytra_device Tytra_front Tytra_ir Tytra_kernels Validate

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Ast Lexer List Parser Pprint QCheck QCheck_alcotest String Tytra_front Tytra_ir Tytra_kernels Validate

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Expr Float Gen List Lower QCheck QCheck_alcotest String Transform Tytra_cost Tytra_device Tytra_front Tytra_hdl Tytra_ir Tytra_sim

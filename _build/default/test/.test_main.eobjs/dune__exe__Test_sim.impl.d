@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cpu_model Cyclesim Device Dram Float Hostlink List Power Printf Prng Resources Techmap Tytra_cost Tytra_device Tytra_front Tytra_ir Tytra_kernels Tytra_sim

@@ -1,0 +1,1 @@
+test/test_streambench.ml: Alcotest Bandwidth Device Float List Printf Streambench Tytra_device Tytra_streambench

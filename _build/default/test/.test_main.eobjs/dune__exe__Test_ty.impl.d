@@ -1,0 +1,1 @@
+test/test_ty.ml: Alcotest Int64 List QCheck QCheck_alcotest Ty Tytra_ir

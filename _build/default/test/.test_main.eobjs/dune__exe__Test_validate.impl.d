@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest List Parser String Tytra_ir Validate

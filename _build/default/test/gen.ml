@@ -1,0 +1,187 @@
+(* QCheck generators for random kernels/programs, used by the
+   correctness-property tests (variant == baseline, interp == eval,
+   roundtrips). Generated kernels use only total integer operations so
+   every level of the stack has exact semantics. *)
+
+open Tytra_front
+open Expr
+
+let safe_binops =
+  [| Tytra_ir.Ast.Add; Sub; Mul; Min; Max; And; Or; Xor |]
+
+let cmp_ops =
+  [| Tytra_ir.Ast.CmpLt; CmpLe; CmpEq; CmpNe; CmpGt; CmpGe |]
+
+(* random expression over given inputs/params, bounded depth *)
+let rec gen_expr inputs params depth st =
+  let open QCheck.Gen in
+  if depth = 0 then
+    (oneof
+       [
+         map (fun i -> Input (List.nth inputs (i mod List.length inputs))) nat;
+         map
+           (fun i ->
+             Stencil
+               ( List.nth inputs (i mod List.length inputs),
+                 (i mod 7) - 3 ))
+           nat;
+         (if params = [] then
+            map (fun i -> ConstI (Int64.of_int (i mod 16))) nat
+          else
+            map (fun i -> Param (List.nth params (i mod List.length params)))
+              nat);
+         map (fun i -> ConstI (Int64.of_int (i mod 16))) nat;
+       ])
+      st
+  else
+    (frequency
+       [
+         (3,
+          map3
+            (fun o a b -> Bin (safe_binops.(o mod Array.length safe_binops), a, b))
+            nat
+            (gen_expr inputs params (depth - 1))
+            (gen_expr inputs params (depth - 1)));
+         (1,
+          map3
+            (fun o a b ->
+              Select
+                ( Bin (cmp_ops.(o mod Array.length cmp_ops), a, b),
+                  a,
+                  b ))
+            nat
+            (gen_expr inputs params (depth - 1))
+            (gen_expr inputs params (depth - 1)));
+         (1, gen_expr inputs params 0);
+       ])
+      st
+
+let gen_kernel st =
+  let open QCheck.Gen in
+  let n_inputs = int_range 1 3 st in
+  let inputs = List.init n_inputs (fun i -> Printf.sprintf "in%d" i) in
+  let n_params = int_range 0 2 st in
+  let params = List.init n_params (fun i -> Printf.sprintf "c%d" i) in
+  let depth = int_range 1 4 st in
+  let n_outputs = int_range 1 2 st in
+  let outputs =
+    List.init n_outputs (fun i ->
+        { o_name = Printf.sprintf "y%d" i;
+          o_expr = gen_expr inputs params depth st })
+  in
+  let with_reduction = bool st in
+  {
+    k_name = "rand";
+    k_ty = Tytra_ir.Ty.UInt (int_range 8 24 st);
+    k_inputs = inputs;
+    k_params = List.map (fun p -> (p, Int64.of_int (int_range 0 15 st))) params;
+    k_outputs = outputs;
+    k_reductions =
+      (if with_reduction then
+         [ { r_name = "acc"; r_op = Tytra_ir.Ast.Add;
+             r_expr = gen_expr inputs params (min depth 2) st; r_init = 0L } ]
+       else []);
+  }
+
+let gen_program st =
+  let open QCheck.Gen in
+  let k = gen_kernel st in
+  let n = 8 * int_range 1 8 st in
+  { p_kernel = k; p_shape = [ n ] }
+
+let arb_program =
+  QCheck.make ~print:(fun p ->
+      Printf.sprintf "<program %s, %d points, %d ops>" p.p_kernel.k_name
+        (points p) (op_count p.p_kernel))
+    gen_program
+
+(* a variant applicable to the program, biased to multi-lane *)
+let gen_applicable_variant p st =
+  let open QCheck.Gen in
+  let n = points p in
+  let divs = List.filter (fun d -> d > 1 && d <= 8) (Vtype.divisors n) in
+  match divs with
+  | [] -> Transform.Pipe
+  | _ ->
+      let l = List.nth divs (int_range 0 (List.length divs - 1) st) in
+      let choice = int_range 0 3 st in
+      if choice = 0 then Transform.Pipe
+      else if choice = 1 then Transform.Seq
+      else if choice = 2 then Transform.ParPipe l
+      else begin
+        let rest = n / l in
+        let vdivs = List.filter (fun d -> d > 1 && d <= 4) (Vtype.divisors rest) in
+        match vdivs with
+        | [] -> Transform.ParPipe l
+        | v :: _ -> Transform.ParVecPipe (l, v)
+      end
+
+let arb_program_variant =
+  QCheck.make
+    ~print:(fun (p, v) ->
+      Printf.sprintf "<%d points, %s>" (points p) (Transform.to_string v))
+    QCheck.Gen.(
+      gen_program >>= fun p ->
+      map (fun v -> (p, v)) (gen_applicable_variant p))
+
+(* random 2-stage chains: stage 0 is forced single-output, reduction-free;
+   stage 1 is any random kernel whose first input is the chained stream *)
+let gen_chain st =
+  let open QCheck.Gen in
+  let k0 = gen_kernel st in
+  let k0 =
+    { k0 with
+      k_name = "stage0";
+      k_inputs = List.map (fun s -> "a" ^ s) k0.k_inputs;
+      k_outputs = [ { (List.hd k0.k_outputs) with o_name = "mid" } ];
+      k_reductions = [];
+    }
+  in
+  (* rename stage-0 body streams to match the prefixed inputs *)
+  let rec ren e =
+    match e with
+    | Input s -> Input ("a" ^ s)
+    | Stencil (s, o) -> Stencil ("a" ^ s, o)
+    | Bin (op, a, b) -> Bin (op, ren a, ren b)
+    | Un (op, a) -> Un (op, ren a)
+    | Select (c, a, b) -> Select (ren c, ren a, ren b)
+    | e -> e
+  in
+  let k0 =
+    { k0 with k_outputs =
+        List.map (fun o -> { o with o_expr = ren o.o_expr }) k0.k_outputs }
+  in
+  let k1 = gen_kernel st in
+  let k1 =
+    { k1 with
+      k_name = "stage1";
+      k_ty = k0.k_ty;
+      k_inputs = List.map (fun s -> "b" ^ s) k1.k_inputs;
+      k_outputs =
+        List.mapi (fun i o -> { o with o_name = Printf.sprintf "z%d" i })
+          k1.k_outputs;
+    }
+  in
+  let rec ren1 e =
+    match e with
+    | Input s -> Input ("b" ^ s)
+    | Stencil (s, o) -> Stencil ("b" ^ s, o)
+    | Bin (op, a, b) -> Bin (op, ren1 a, ren1 b)
+    | Un (op, a) -> Un (op, ren1 a)
+    | Select (c, a, b) -> Select (ren1 c, ren1 a, ren1 b)
+    | e -> e
+  in
+  let k1 =
+    { k1 with
+      k_outputs = List.map (fun o -> { o with o_expr = ren1 o.o_expr }) k1.k_outputs;
+      k_reductions =
+        List.map (fun r -> { r with r_expr = ren1 r.r_expr }) k1.k_reductions;
+    }
+  in
+  let n = 8 * int_range 1 6 st in
+  Chain.make_exn ~name:"randchain" ~shape:[ n ] [ k0; k1 ]
+
+let arb_chain =
+  QCheck.make
+    ~print:(fun c -> Printf.sprintf "<chain %d points>" (Chain.points c))
+    gen_chain

@@ -1,0 +1,144 @@
+(* Tests for the IR analyses that extract the Table I parameters, and for
+   the configuration-tree classifier (paper Figs 5, 7, 8). *)
+
+open Tytra_ir
+open Tytra_front
+
+let sor im jm km = Tytra_kernels.Sor.program ~im ~jm ~km ()
+
+let params v p = Analysis.params (Lower.lower p v)
+
+let test_ngs () =
+  let p = sor 8 6 6 in
+  Alcotest.(check int) "ngs pipe" 288 (params Transform.Pipe p).Analysis.ngs;
+  Alcotest.(check int) "ngs par4" 288
+    (params (Transform.ParPipe 4) p).Analysis.ngs;
+  Alcotest.(check int) "ngs seq" 288 (params Transform.Seq p).Analysis.ngs
+
+let test_noff () =
+  let p = sor 8 6 6 in
+  (* k-neighbour offset = im*jm = 48 *)
+  Alcotest.(check int) "noff = im*jm" 48
+    (params Transform.Pipe p).Analysis.noff;
+  let p2 = sor 16 16 4 in
+  Alcotest.(check int) "noff = 256" 256
+    (params Transform.Pipe p2).Analysis.noff
+
+let test_knl_dv () =
+  let p = sor 8 6 6 in
+  let q v = params v p in
+  Alcotest.(check int) "pipe knl" 1 (q Transform.Pipe).Analysis.knl;
+  Alcotest.(check int) "par4 knl" 4 (q (Transform.ParPipe 4)).Analysis.knl;
+  Alcotest.(check int) "par4 dv" 1 (q (Transform.ParPipe 4)).Analysis.dv;
+  let qv = q (Transform.ParVecPipe (2, 2)) in
+  Alcotest.(check int) "parvec knl" 2 qv.Analysis.knl;
+  Alcotest.(check int) "parvec dv" 2 qv.Analysis.dv
+
+let test_nto () =
+  let p = sor 8 6 6 in
+  Alcotest.(check int) "pipe nto=1" 1 (params Transform.Pipe p).Analysis.nto;
+  let s = params Transform.Seq p in
+  Alcotest.(check bool) "seq nto=ni>1" true
+    (s.Analysis.nto = s.Analysis.ni && s.Analysis.ni > 1)
+
+let test_ni_stable_across_lanes () =
+  let p = sor 8 6 6 in
+  let n1 = (params Transform.Pipe p).Analysis.ni in
+  let n4 = (params (Transform.ParPipe 4) p).Analysis.ni in
+  Alcotest.(check int) "ni per PE invariant" n1 n4;
+  Alcotest.(check bool) "sor has ~18 ops" true (n1 >= 14 && n1 <= 22)
+
+let test_nwpt () =
+  let p = sor 8 6 6 in
+  let q = params Transform.Pipe p in
+  Alcotest.(check int) "2 inputs" 2 q.Analysis.in_words;
+  Alcotest.(check int) "1 output" 1 q.Analysis.out_words;
+  Alcotest.(check int) "nwpt" 3 q.Analysis.nwpt;
+  let q4 = params (Transform.ParPipe 4) p in
+  Alcotest.(check int) "nwpt per work-item invariant" 3 q4.Analysis.nwpt
+
+let test_kpd () =
+  let p = sor 8 6 6 in
+  let q = params Transform.Pipe p in
+  (* depth must cover at least one mul (3) + adds chain, and be sane *)
+  Alcotest.(check bool) "kpd positive & plausible" true
+    (q.Analysis.kpd >= 5 && q.Analysis.kpd <= 100);
+  let q4 = params (Transform.ParPipe 4) p in
+  Alcotest.(check int) "kpd invariant across lanes" q.Analysis.kpd
+    q4.Analysis.kpd
+
+let test_config_classes () =
+  let p = sor 8 6 6 in
+  let cls v =
+    (Config_tree.classify (Lower.lower p v)).Config_tree.cs_class
+  in
+  Alcotest.(check string) "pipe -> C2" "C2"
+    (Config_tree.cclass_to_string (cls Transform.Pipe));
+  Alcotest.(check string) "par -> C1" "C1"
+    (Config_tree.cclass_to_string (cls (Transform.ParPipe 4)));
+  Alcotest.(check string) "parvec -> C3" "C3"
+    (Config_tree.cclass_to_string (cls (Transform.ParVecPipe (2, 2))));
+  Alcotest.(check string) "seq -> C4" "C4"
+    (Config_tree.cclass_to_string (cls Transform.Seq))
+
+let test_config_pes () =
+  let p = sor 8 6 6 in
+  let pes v =
+    List.length (Config_tree.classify (Lower.lower p v)).Config_tree.cs_pes
+  in
+  Alcotest.(check int) "pipe 1 PE" 1 (pes Transform.Pipe);
+  Alcotest.(check int) "par4 4 PEs" 4 (pes (Transform.ParPipe 4));
+  Alcotest.(check int) "parvec 2x2 4 PEs" 4 (pes (Transform.ParVecPipe (2, 2)))
+
+let test_coarse_pipeline_tree () =
+  (* Fig 7 configuration 3: coarse-grained pipeline (pipe of pipes) *)
+  let src =
+    {|
+define void @pipeA (ui18 %x) pipe { %out_a = add ui18 %x, 1 }
+define void @pipeB (ui18 %x) pipe { %out_b = add ui18 %x, 2 }
+define void @top (ui18 %x) pipe {
+  call @pipeA (%x) pipe
+  call @pipeB (%x) pipe
+}
+define void @main (ui18 %x) seq {
+  call @top (%x) pipe
+}
+|}
+  in
+  let d = Validate.check_exn (Parser.parse src) in
+  let s = Config_tree.classify d in
+  Alcotest.(check string) "coarse C2" "C2"
+    (Config_tree.cclass_to_string s.Config_tree.cs_class);
+  Alcotest.(check bool) "coarse flag" true s.Config_tree.cs_coarse;
+  Alcotest.(check int) "2 PEs in the lane" 2 (List.length s.Config_tree.cs_pes)
+
+let test_bytes_per_ndrange () =
+  let p = sor 8 6 6 in
+  let d = Lower.lower p Transform.Pipe in
+  (* 3 streams x 288 elements x 3 bytes (ui18) *)
+  Alcotest.(check int) "bytes" (3 * 288 * 3) (Analysis.bytes_per_ndrange d)
+
+let test_dominant_pattern () =
+  let p = sor 8 6 6 in
+  let d = Lower.lower p Transform.Pipe in
+  Alcotest.(check bool) "cont" true (Analysis.dominant_pattern d = Ast.Cont);
+  let ds = Lower.lower ~pattern:(Ast.Strided 48) p Transform.Pipe in
+  Alcotest.(check bool) "strided wins" true
+    (Analysis.dominant_pattern ds = Ast.Strided 48)
+
+let suite =
+  [
+    Alcotest.test_case "NGS" `Quick test_ngs;
+    Alcotest.test_case "Noff" `Quick test_noff;
+    Alcotest.test_case "KNL / DV" `Quick test_knl_dv;
+    Alcotest.test_case "NTO" `Quick test_nto;
+    Alcotest.test_case "NI invariant per PE" `Quick test_ni_stable_across_lanes;
+    Alcotest.test_case "NWPT" `Quick test_nwpt;
+    Alcotest.test_case "KPD" `Quick test_kpd;
+    Alcotest.test_case "design-space classes" `Quick test_config_classes;
+    Alcotest.test_case "PE counting" `Quick test_config_pes;
+    Alcotest.test_case "coarse-grained pipeline" `Quick
+      test_coarse_pipeline_tree;
+    Alcotest.test_case "bytes per NDRange" `Quick test_bytes_per_ndrange;
+    Alcotest.test_case "dominant pattern" `Quick test_dominant_pattern;
+  ]

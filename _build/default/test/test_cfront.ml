@@ -1,0 +1,161 @@
+(* C front-end tests, including cross-language agreement with the Fortran
+   front end and the hand-written kernels. *)
+
+open Tytra_front
+
+let sor_c =
+  {|
+/* SOR kernel, C rendering (row-major arrays, zero-based loops) */
+#define omega 1
+#define cn1 1
+#define cn2l 1
+#define cn2s 1
+#define cn3l 1
+#define cn3s 1
+#define cn4l 1
+#define cn4s 1
+for (k = 0; k < KM; k++) {
+  for (j = 0; j < JM; j++) {
+    for (i = 0; i < IM; i++) {
+      // the stencil: i is the fastest dimension
+      reltmp = omega * (cn1 * ( cn2l * p[k][j][i+1] + cn2s * p[k][j][i-1]
+             + cn3l * p[k][j+1][i] + cn3s * p[k][j-1][i]
+             + cn4l * p[k+1][j][i] + cn4s * p[k-1][j][i] ) - rhs[k][j][i]) - p[k][j][i];
+      p_new[k][j][i] = p[k][j][i] + reltmp;
+      sorerracc += reltmp * reltmp;
+    }
+  }
+}
+|}
+
+let sizes = [ ("IM", 8); ("JM", 6); ("KM", 6) ]
+
+let test_parse_sor_c () =
+  let p = C_front.parse ~sizes sor_c in
+  Alcotest.(check int) "points" (8 * 6 * 6) (Expr.points p);
+  Alcotest.(check (list string)) "inputs" [ "p"; "rhs" ]
+    p.Expr.p_kernel.Expr.k_inputs;
+  let offs = List.assoc "p" (Expr.stencil_offsets p.Expr.p_kernel) in
+  Alcotest.(check (list int)) "row-major offsets" [ -48; -8; -1; 1; 8; 48 ] offs;
+  Alcotest.(check int) "1 reduction (+=)" 1
+    (List.length p.Expr.p_kernel.Expr.k_reductions)
+
+let test_c_matches_fortran_and_dsl () =
+  let pc = C_front.parse ~sizes sor_c in
+  let hand = Tytra_kernels.Sor.program ~im:8 ~jm:6 ~km:6 () in
+  let env = Tytra_kernels.Workloads.random_env hand in
+  let a = Eval.run_baseline hand env in
+  let c = Eval.run_baseline pc env in
+  Alcotest.(check bool) "C == hand-written" true
+    (List.assoc "p" a.Eval.outputs = List.assoc "p_new" c.Eval.outputs);
+  Alcotest.(check int64) "reduction agrees"
+    (List.assoc "sorErrAcc" a.Eval.reductions)
+    (List.assoc "sorerracc" c.Eval.reductions)
+
+let test_int_decl_and_literal_bounds () =
+  let p =
+    C_front.parse ~sizes:[]
+      {|
+for (int i = 0; i < 16; i++) {
+  y[i] = 3 * x[i] + x[i+1];
+}
+|}
+  in
+  Alcotest.(check int) "points" 16 (Expr.points p)
+
+let test_intrinsic_renaming () =
+  let p =
+    C_front.parse ~sizes:[ ("N", 4) ]
+      {|
+for (i = 0; i < N; i++) {
+  y[i] = fmax(x[i], 3) + fabs(x[i]);
+  peak = max(peak, x[i]);
+}
+|}
+  in
+  let r = List.hd p.Expr.p_kernel.Expr.k_reductions in
+  Alcotest.(check bool) "max reduction" true (r.Expr.r_op = Tytra_ir.Ast.Max);
+  let env = [ ("x", [| 1L; 5L; 2L; 9L |]) ] in
+  let res = Eval.run_baseline p env in
+  Alcotest.(check int64) "fmax+fabs" 4L (List.assoc "y" res.Eval.outputs).(0);
+  Alcotest.(check int64) "peak" 9L (List.assoc "peak" res.Eval.reductions)
+
+let test_plus_eq_reduction () =
+  let p =
+    C_front.parse ~sizes:[ ("N", 8) ]
+      {|
+for (i = 0; i < N; i++) {
+  total += x[i];
+  y[i] = x[i];
+}
+|}
+  in
+  let env = [ ("x", Array.init 8 Int64.of_int) ] in
+  let r = Eval.run_baseline p env in
+  Alcotest.(check int64) "sum 0..7" 28L (List.assoc "total" r.Eval.reductions)
+
+let test_comments_and_float_literals () =
+  let p =
+    C_front.parse ~ty:(Tytra_ir.Ty.Float 32) ~sizes:[ ("N", 2) ]
+      {|
+#define w 0.25
+/* block
+   comment */
+for (i = 0; i < N; i++) {
+  y[i] = w * x[i]; // scale
+}
+|}
+  in
+  let x = Array.map Int64.bits_of_float [| 4.0; 8.0 |] in
+  let r = Eval.run_baseline p [ ("x", x) ] in
+  Alcotest.(check (float 1e-9)) "0.25*4" 1.0
+    (Int64.float_of_bits (List.assoc "y" r.Eval.outputs).(0))
+
+let expect_error src sizes' =
+  match C_front.parse ~sizes:sizes' src with
+  | exception C_front.Error _ -> ()
+  | _ -> Alcotest.failf "expected rejection"
+
+let test_rejections () =
+  (* loop not starting at 0 *)
+  expect_error {|
+for (i = 1; i < 8; i++) { y[i] = x[i]; }
+|} [];
+  (* missing semicolon *)
+  expect_error {|
+for (i = 0; i < 8; i++) { y[i] = x[i] }
+|} [];
+  (* unsupported function *)
+  expect_error {|
+for (i = 0; i < 8; i++) { y[i] = exp(x[i]); }
+|} [];
+  (* mismatched braces *)
+  expect_error {|
+for (i = 0; i < 8; i++) { y[i] = x[i];
+|} []
+
+let test_lowered_c_program_validates () =
+  let p = C_front.parse ~sizes sor_c in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Transform.to_string v ^ " valid")
+        true
+        (Tytra_ir.Validate.is_valid (Lower.lower p v)))
+    [ Transform.Pipe; Transform.ParPipe 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "parse SOR (C)" `Quick test_parse_sor_c;
+    Alcotest.test_case "C == Fortran == DSL" `Quick
+      test_c_matches_fortran_and_dsl;
+    Alcotest.test_case "int decl / literal bounds" `Quick
+      test_int_decl_and_literal_bounds;
+    Alcotest.test_case "intrinsic renaming" `Quick test_intrinsic_renaming;
+    Alcotest.test_case "+= reduction" `Quick test_plus_eq_reduction;
+    Alcotest.test_case "comments & float literals" `Quick
+      test_comments_and_float_literals;
+    Alcotest.test_case "unsupported code rejected" `Quick test_rejections;
+    Alcotest.test_case "lowered C program validates" `Quick
+      test_lowered_c_program_validates;
+  ]

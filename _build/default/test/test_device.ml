@@ -1,0 +1,162 @@
+(* Device-description and empirical-bandwidth-model tests. *)
+
+open Tytra_device
+
+let test_registry () =
+  Alcotest.(check int) "three devices" 3 (List.length Device.all);
+  Alcotest.(check bool) "find maia" true
+    (Device.find "maxeler-maia.stratix-v-gsd8" <> None);
+  Alcotest.(check bool) "unknown none" true (Device.find "nope" = None);
+  match Device.find_exn "bogus" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "find_exn should raise"
+
+let test_inventories_sane () =
+  List.iter
+    (fun (d : Device.t) ->
+      Alcotest.(check bool) "aluts" true (d.Device.aluts > 100_000);
+      Alcotest.(check bool) "bram" true (d.Device.bram_bits > 10_000_000);
+      Alcotest.(check bool) "dsps" true (d.Device.dsps > 1000);
+      Alcotest.(check bool) "hpb < gpb" true (d.Device.hpb < d.Device.gpb))
+    Device.all
+
+let test_fmax_derating () =
+  let d = Device.stratixv_gsd8 in
+  let lo = Device.fmax_mhz d ~alut_util:0.0 in
+  let hi = Device.fmax_mhz d ~alut_util:1.0 in
+  Alcotest.(check (float 1e-9)) "0%% util = base" d.Device.fmax_base_mhz lo;
+  Alcotest.(check bool) "derated but floored" true
+    (hi < lo && hi >= 0.6 *. d.Device.fmax_base_mhz);
+  (* clamped outside [0,1] *)
+  Alcotest.(check (float 1e-9)) "clamp" hi (Device.fmax_mhz d ~alut_util:2.0)
+
+let test_bandwidth_interp () =
+  let c = Bandwidth.virtex7_default in
+  (* at a calibration point, the interpolation returns the point *)
+  let at_side side = side *. side *. 4.0 in
+  let v = Bandwidth.sustained c `Cont ~bytes:(at_side 1000.) in
+  Alcotest.(check bool) "4.1 Gbit at side 1000" true
+    (Float.abs ((v *. 8. /. 1e9) -. 4.1) < 0.01);
+  (* clamped at both ends *)
+  let tiny = Bandwidth.sustained c `Cont ~bytes:100.0 in
+  let small = Bandwidth.sustained c `Cont ~bytes:(at_side 100.) in
+  Alcotest.(check (float 1e-6)) "clamped below" small tiny;
+  let huge = Bandwidth.sustained c `Cont ~bytes:1e12 in
+  let large = Bandwidth.sustained c `Cont ~bytes:(at_side 6000.) in
+  Alcotest.(check (float 1e-6)) "clamped above" large huge
+
+let test_bandwidth_monotone_cont () =
+  let c = Bandwidth.virtex7_default in
+  let sides = [ 100.; 300.; 700.; 1200.; 2200.; 3500.; 5500. ] in
+  let values =
+    List.map (fun s -> Bandwidth.sustained c `Cont ~bytes:(s *. s *. 4.)) sides
+  in
+  let rec mono = function
+    | a :: (b :: _ as tl) -> a <= b +. 1e-6 && mono tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "contiguous curve monotone" true (mono values)
+
+let test_bandwidth_gap () =
+  let c = Bandwidth.virtex7_default in
+  let bytes = 2000. *. 2000. *. 4.0 in
+  let cont = Bandwidth.sustained c `Cont ~bytes in
+  let str = Bandwidth.sustained c `Strided ~bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "~2 orders of magnitude (%.0fx)" (cont /. str))
+    true
+    (cont /. str > 50.0)
+
+let test_rho_bounds () =
+  let c = Bandwidth.virtex7_default in
+  List.iter
+    (fun bytes ->
+      let r = Bandwidth.rho c ~peak:21.3e9 `Cont ~bytes in
+      Alcotest.(check bool) "rho in (0,1]" true (r > 0.0 && r <= 1.0))
+    [ 1.0; 1e4; 1e7; 1e12 ]
+
+let test_rho_host () =
+  let link = Device.stratixv_gsd8.Device.link in
+  let small = Bandwidth.rho_host link ~bytes:64. in
+  let large = Bandwidth.rho_host link ~bytes:1e9 in
+  Alcotest.(check bool) "small transfers latency-bound" true (small < 0.1);
+  Alcotest.(check bool) "large transfers approach link_eff" true
+    (large > 0.95 *. link.Device.link_eff)
+
+let test_resources_algebra () =
+  let u =
+    { Resources.aluts = 10; regs = 20; bram_bits = 30; bram_blocks = 1; dsps = 2 }
+  in
+  let s = Resources.add u (Resources.scale 2 u) in
+  Alcotest.(check int) "add/scale" 30 s.Resources.aluts;
+  Alcotest.(check int) "sum" 60 (Resources.sum [ u; u; Resources.scale 4 u ]).Resources.aluts;
+  Alcotest.(check bool) "zero identity" true (Resources.add Resources.zero u = u)
+
+let test_utilization_and_fits () =
+  let d = Device.stratixv_gsd8 in
+  let u =
+    { Resources.aluts = d.Device.aluts / 2; regs = 0; bram_bits = 0;
+      bram_blocks = 0; dsps = 0 }
+  in
+  let x = Resources.utilization d u in
+  Alcotest.(check (float 1e-9)) "50%%" 0.5 x.Resources.ut_aluts;
+  Alcotest.(check bool) "fits" true (Resources.fits d u);
+  Alcotest.(check string) "binding" "ALUTs" (Resources.binding_resource d u);
+  let over = { u with Resources.aluts = d.Device.aluts * 2 } in
+  Alcotest.(check bool) "over budget" false (Resources.fits d over)
+
+let suite =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "inventories sane" `Quick test_inventories_sane;
+    Alcotest.test_case "fmax derating" `Quick test_fmax_derating;
+    Alcotest.test_case "bandwidth interpolation" `Quick test_bandwidth_interp;
+    Alcotest.test_case "contiguous curve monotone" `Quick
+      test_bandwidth_monotone_cont;
+    Alcotest.test_case "contiguous/strided gap" `Quick test_bandwidth_gap;
+    Alcotest.test_case "rho bounds" `Quick test_rho_bounds;
+    Alcotest.test_case "rho host" `Quick test_rho_host;
+    Alcotest.test_case "resource algebra" `Quick test_resources_algebra;
+    Alcotest.test_case "utilization & fits" `Quick test_utilization_and_fits;
+  ]
+
+(* ---- calibration file IO ---- *)
+
+let test_calib_roundtrip () =
+  let c = Bandwidth.virtex7_default in
+  let path = Filename.temp_file "tytra" ".calib" in
+  Calib_io.save path c;
+  match Calib_io.load path with
+  | Error e -> Alcotest.fail e
+  | Ok c' ->
+      Alcotest.(check string) "device" c.Bandwidth.cal_device
+        c'.Bandwidth.cal_device;
+      List.iter
+        (fun bytes ->
+          Alcotest.(check (float 1.0)) "cont prediction preserved"
+            (Bandwidth.sustained c `Cont ~bytes)
+            (Bandwidth.sustained c' `Cont ~bytes);
+          Alcotest.(check (float 1.0)) "strided prediction preserved"
+            (Bandwidth.sustained c `Strided ~bytes)
+            (Bandwidth.sustained c' `Strided ~bytes))
+        [ 1e4; 1e6; 1e8 ]
+
+let test_calib_load_errors () =
+  let path = Filename.temp_file "tytra" ".calib" in
+  let oc = open_out path in
+  output_string oc "not a calibration\n";
+  close_out oc;
+  (match Calib_io.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header must fail");
+  (match Calib_io.load "/nonexistent/file" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must fail")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "calibration roundtrip" `Quick test_calib_roundtrip;
+      Alcotest.test_case "calibration load errors" `Quick
+        test_calib_load_errors;
+    ]

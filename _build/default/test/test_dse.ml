@@ -1,0 +1,135 @@
+(* DSE tests: exploration coverage, selection, Pareto front, guided
+   search. *)
+
+open Tytra_dse
+open Tytra_front
+
+let prog () = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 ()
+
+let test_explore_covers_variants () =
+  let pts = Dse.explore ~max_lanes:8 (prog ()) in
+  let names =
+    List.map (fun p -> Transform.to_string p.Dse.dp_variant) pts
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (v ^ " explored") true (List.mem v names))
+    [ "seq"; "pipe"; "par2-pipe"; "par4-pipe"; "par8-pipe" ]
+
+let test_best_is_valid_max () =
+  let pts = Dse.explore ~max_lanes:8 ~nki:100 (prog ()) in
+  match Dse.best pts with
+  | None -> Alcotest.fail "expected a valid point"
+  | Some b ->
+      Alcotest.(check bool) "valid" true (Dse.valid b);
+      List.iter
+        (fun p ->
+          if Dse.valid p then
+            Alcotest.(check bool) "no better valid point" true
+              (Dse.ekit p <= Dse.ekit b +. 1e-9))
+        pts
+
+let test_pipe_beats_seq () =
+  let pts = Dse.explore ~max_lanes:4 (prog ()) in
+  let find v = List.find (fun p -> p.Dse.dp_variant = v) pts in
+  Alcotest.(check bool) "pipeline >> sequential" true
+    (Dse.ekit (find Transform.Pipe) > 3.0 *. Dse.ekit (find Transform.Seq))
+
+let test_pareto_front_property () =
+  let pts = Dse.explore ~max_lanes:16 ~nki:100 (prog ()) in
+  let front = Dse.pareto pts in
+  Alcotest.(check bool) "front non-empty" true (front <> []);
+  let area p =
+    p.Dse.dp_report.Tytra_cost.Report.rp_estimate
+      .Tytra_cost.Resource_model.est_usage
+      .Tytra_device.Resources.aluts
+  in
+  (* no point of the front is dominated by any valid point *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun q ->
+          if Dse.valid q && q != f then
+            Alcotest.(check bool) "not dominated" false
+              (Dse.ekit q > Dse.ekit f && area q < area f))
+        pts)
+    front
+
+let test_guided_trace () =
+  let trace = Dse.guided ~nki:100 ~max_lanes:16 (prog ()) in
+  Alcotest.(check bool) "trace starts at pipe" true
+    ((List.hd trace).Dse.dp_variant = Transform.Pipe);
+  (* lanes double along the trace *)
+  let lanes =
+    List.map (fun p -> Transform.lanes p.Dse.dp_variant) trace
+  in
+  let rec doubling = function
+    | a :: (b :: _ as tl) -> b = 2 * a && doubling tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "doubling lanes" true (doubling lanes);
+  (* the trace stops for a reason: wall hit, lanes exhausted, or oversize *)
+  let last = List.nth trace (List.length trace - 1) in
+  let stopped_reasonably =
+    Transform.lanes last.Dse.dp_variant >= 16
+    || last.Dse.dp_report.Tytra_cost.Report.rp_breakdown
+         .Tytra_cost.Throughput.bd_limiter
+       <> Tytra_cost.Throughput.Compute
+    || not (Dse.valid last)
+  in
+  Alcotest.(check bool) "stop condition" true stopped_reasonably
+
+let test_explore_respects_divisibility () =
+  (* 10 points: lanes 3 not applicable, enumerate must skip it *)
+  let p =
+    { Tytra_front.Expr.p_kernel = (Tytra_kernels.Sor.program ~im:10 ~jm:1 ~km:1 ()).Tytra_front.Expr.p_kernel;
+      p_shape = [ 10 ] }
+  in
+  let pts = Dse.explore ~max_lanes:8 p in
+  List.iter
+    (fun pt ->
+      Alcotest.(check bool) "applicable" true
+        (Transform.applicable p pt.Dse.dp_variant))
+    pts
+
+let suite =
+  [
+    Alcotest.test_case "explore covers variants" `Quick
+      test_explore_covers_variants;
+    Alcotest.test_case "best is valid max" `Quick test_best_is_valid_max;
+    Alcotest.test_case "pipe beats seq" `Quick test_pipe_beats_seq;
+    Alcotest.test_case "pareto front" `Quick test_pareto_front_property;
+    Alcotest.test_case "guided trace" `Quick test_guided_trace;
+    Alcotest.test_case "divisibility respected" `Quick
+      test_explore_respects_divisibility;
+  ]
+
+let test_explore_devices () =
+  let p = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 () in
+  let per_device, best = Dse.explore_devices ~nki:100 ~max_lanes:4 p in
+  Alcotest.(check int) "all devices explored"
+    (List.length Tytra_device.Device.all)
+    (List.length per_device);
+  List.iter
+    (fun (_, pts) ->
+      Alcotest.(check bool) "non-empty space" true (pts <> []))
+    per_device;
+  match best with
+  | None -> Alcotest.fail "expected an overall best"
+  | Some (dev, pt) ->
+      (* the winner is at least as good as every per-device best *)
+      List.iter
+        (fun (_, pts) ->
+          match Dse.best pts with
+          | Some b ->
+              Alcotest.(check bool) "global max" true
+                (Dse.ekit pt >= Dse.ekit b)
+          | None -> ())
+        per_device;
+      Alcotest.(check bool) "winner from the registry" true
+        (List.memq dev Tytra_device.Device.all)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "cross-device exploration" `Quick
+        test_explore_devices ]

@@ -1,0 +1,187 @@
+(* Front-end tests: sized vector types, type transformations, the
+   correct-by-construction property (every variant computes the baseline
+   function), lowering validity, and IR-interpreter agreement. *)
+
+open Tytra_front
+
+let test_vtype_reshape () =
+  let t = Vtype.Vect (24, Vtype.Scalar (Tytra_ir.Ty.UInt 18)) in
+  (match Vtype.reshape_to 4 t with
+  | Ok (Vtype.Vect (4, Vtype.Vect (6, _))) -> ()
+  | Ok other -> Alcotest.failf "wrong shape: %s" (Vtype.to_string other)
+  | Error e -> Alcotest.fail e);
+  (match Vtype.reshape_to 5 t with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "5 does not divide 24");
+  match Vtype.reshape_to 4 (Vtype.Scalar (Tytra_ir.Ty.UInt 8)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cannot reshape a scalar"
+
+let test_vtype_size_preservation () =
+  let t = Vtype.Vect (24, Vtype.Scalar (Tytra_ir.Ty.UInt 18)) in
+  match Vtype.reshape_to 6 t with
+  | Ok t' ->
+      Alcotest.(check int) "size preserved" (Vtype.size t) (Vtype.size t');
+      (match Vtype.flatten t' with
+      | Ok flat -> Alcotest.(check bool) "flatten inverts" true (Vtype.equal flat t)
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let test_divisors () =
+  Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ]
+    (Vtype.divisors 12)
+
+let test_enumerate () =
+  let p = Tytra_kernels.Sor.program ~im:4 ~jm:2 ~km:2 () in
+  let vs = Transform.enumerate ~max_lanes:8 p in
+  Alcotest.(check bool) "has seq" true (List.mem Transform.Seq vs);
+  Alcotest.(check bool) "has pipe" true (List.mem Transform.Pipe vs);
+  Alcotest.(check bool) "has par8" true (List.mem (Transform.ParPipe 8) vs);
+  Alcotest.(check bool) "no par3 (16 % 3 <> 0)" false
+    (List.mem (Transform.ParPipe 3) vs);
+  Alcotest.(check bool) "all applicable" true
+    (List.for_all (Transform.applicable p) vs)
+
+let test_enumerate_vec () =
+  let p = Tytra_kernels.Sor.program ~im:4 ~jm:2 ~km:2 () in
+  let vs = Transform.enumerate ~max_lanes:4 ~max_vec:2 p in
+  Alcotest.(check bool) "has par2-vec2" true
+    (List.mem (Transform.ParVecPipe (2, 2)) vs)
+
+let test_lane_bounds () =
+  let p = Tytra_kernels.Sor.program ~im:4 ~jm:2 ~km:2 () in
+  let b = Transform.lane_bounds p (Transform.ParPipe 4) in
+  Alcotest.(check int) "4 lanes" 4 (Array.length b);
+  Alcotest.(check bool) "cover in order" true
+    (b = [| (0, 4); (4, 8); (8, 12); (12, 16) |])
+
+let test_stencil_offsets () =
+  let k = Tytra_kernels.Sor.program ~im:8 ~jm:6 ~km:6 () in
+  let offs = Expr.stencil_offsets k.Expr.p_kernel in
+  Alcotest.(check (list int)) "p offsets" [ -48; -8; -1; 1; 8; 48 ]
+    (List.assoc "p" offs);
+  Alcotest.(check (list int)) "rhs no offsets" [] (List.assoc "rhs" offs);
+  Alcotest.(check int) "max offset" 48 (Expr.max_offset k.Expr.p_kernel)
+
+let test_check_kernel () =
+  let bad =
+    {
+      Expr.k_name = "bad";
+      k_ty = Tytra_ir.Ty.UInt 8;
+      k_inputs = [ "x" ];
+      k_params = [];
+      k_outputs = [ { Expr.o_name = "y"; o_expr = Expr.input "ghost" } ];
+      k_reductions = [];
+    }
+  in
+  (match Expr.check_kernel bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "undeclared input must fail");
+  let empty = { bad with Expr.k_outputs = []; k_inputs = [ "x" ] } in
+  match Expr.check_kernel empty with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "kernel with no outputs must fail"
+
+(* ---- the central correctness property ---- *)
+
+let prop_variant_equals_baseline =
+  QCheck.Test.make ~name:"map^par (map^pipe f) . reshapeTo == map f" ~count:60
+    Gen.arb_program_variant
+    (fun (p, v) ->
+      QCheck.assume (Transform.applicable p v);
+      let env = Tytra_kernels.Workloads.random_env p in
+      let b = Eval.run_baseline p env in
+      let r = Eval.run_variant p v env in
+      b.Eval.outputs = r.Eval.outputs && b.Eval.reductions = r.Eval.reductions)
+
+let prop_lowered_designs_validate =
+  QCheck.Test.make ~name:"lowered variants validate" ~count:40
+    Gen.arb_program_variant
+    (fun (p, v) ->
+      QCheck.assume (Transform.applicable p v);
+      let d = Lower.lower p v in
+      Tytra_ir.Validate.is_valid d)
+
+let prop_interp_matches_eval_pipe =
+  QCheck.Test.make ~name:"IR interp == evaluator (single pipeline)" ~count:40
+    Gen.arb_program
+    (fun p ->
+      let env = Tytra_kernels.Workloads.random_env p in
+      let golden = Eval.run_baseline p env in
+      let d = Lower.lower p Transform.Pipe in
+      let r = Tytra_ir.Interp.run d env in
+      let outs_per_lane = List.length p.Expr.p_kernel.Expr.k_outputs in
+      List.for_all
+        (fun (i, (o : Expr.output)) ->
+          Tytra_ir.Interp.gathered_output d r ~outputs_per_lane:outs_per_lane
+            ~nth:i
+          = List.assoc o.Expr.o_name golden.Eval.outputs)
+        (List.mapi (fun i o -> (i, o)) p.Expr.p_kernel.Expr.k_outputs)
+      && List.for_all
+           (fun (r' : Expr.reduction) ->
+             List.assoc r'.Expr.r_name r.Tytra_ir.Interp.ir_globals
+             = List.assoc r'.Expr.r_name golden.Eval.reductions)
+           p.Expr.p_kernel.Expr.k_reductions)
+
+(* multi-lane interp equality holds exactly for stencil-free kernels *)
+let prop_interp_multilane_no_stencil =
+  QCheck.Test.make ~name:"IR interp multi-lane == evaluator (no stencil)"
+    ~count:30 Gen.arb_program
+    (fun p ->
+      let has_stencil = Expr.max_offset p.Expr.p_kernel > 0 in
+      QCheck.assume (not has_stencil);
+      QCheck.assume (Expr.points p mod 4 = 0);
+      let env = Tytra_kernels.Workloads.random_env p in
+      let golden = Eval.run_baseline p env in
+      let d = Lower.lower p (Transform.ParPipe 4) in
+      let chunk = Expr.points p / 4 in
+      let env4 =
+        List.concat_map
+          (fun (s, a) ->
+            List.init 4 (fun i ->
+                (Printf.sprintf "%s%d" s i, Array.sub a (i * chunk) chunk)))
+          env
+      in
+      let r = Tytra_ir.Interp.run d env4 in
+      let outs_per_lane = List.length p.Expr.p_kernel.Expr.k_outputs in
+      List.for_all
+        (fun (i, (o : Expr.output)) ->
+          Tytra_ir.Interp.gathered_output d r ~outputs_per_lane:outs_per_lane
+            ~nth:i
+          = List.assoc o.Expr.o_name golden.Eval.outputs)
+        (List.mapi (fun i o -> (i, o)) p.Expr.p_kernel.Expr.k_outputs))
+
+let prop_reshape_type_size_preserved =
+  QCheck.Test.make ~name:"reshape preserves total size" ~count:100
+    QCheck.(pair (int_range 1 64) (int_range 1 16))
+    (fun (n, l) ->
+      let t = Vtype.Vect (n, Vtype.Scalar (Tytra_ir.Ty.UInt 18)) in
+      match Vtype.reshape_to l t with
+      | Ok t' -> Vtype.size t' = n
+      | Error _ -> n mod l <> 0 || l <= 0)
+
+let test_cse_shares_subterms () =
+  (* reltmp feeds both the output and the reduction: NI must count the
+     shared datapath once *)
+  let p = Tytra_kernels.Sor.program ~im:8 ~jm:6 ~km:6 () in
+  let d = Lower.lower p Transform.Pipe in
+  let q = Tytra_ir.Analysis.params d in
+  Alcotest.(check bool) "NI < 25 (shared reltmp)" true (q.Tytra_ir.Analysis.ni < 25)
+
+let suite =
+  [
+    Alcotest.test_case "reshape_to" `Quick test_vtype_reshape;
+    Alcotest.test_case "size preservation" `Quick test_vtype_size_preservation;
+    Alcotest.test_case "divisors" `Quick test_divisors;
+    Alcotest.test_case "variant enumeration" `Quick test_enumerate;
+    Alcotest.test_case "vectorized enumeration" `Quick test_enumerate_vec;
+    Alcotest.test_case "lane bounds" `Quick test_lane_bounds;
+    Alcotest.test_case "stencil offsets" `Quick test_stencil_offsets;
+    Alcotest.test_case "kernel checking" `Quick test_check_kernel;
+    Alcotest.test_case "CSE shares subterms" `Quick test_cse_shares_subterms;
+    QCheck_alcotest.to_alcotest prop_variant_equals_baseline;
+    QCheck_alcotest.to_alcotest prop_lowered_designs_validate;
+    QCheck_alcotest.to_alcotest prop_interp_matches_eval_pipe;
+    QCheck_alcotest.to_alcotest prop_interp_multilane_no_stencil;
+    QCheck_alcotest.to_alcotest prop_reshape_type_size_preserved;
+  ]

@@ -1,0 +1,217 @@
+(* IR interpreter tests: scalar op semantics, offsets/padding, reductions,
+   and execution through the call hierarchy. *)
+
+open Tytra_ir
+
+let ui8 = Ty.UInt 8
+let si8 = Ty.SInt 8
+
+let op = Interp.apply_op
+
+let test_int_ops () =
+  Alcotest.(check int64) "add wraps" 4L (op ui8 Ast.Add [ 250L; 10L ]);
+  Alcotest.(check int64) "sub wraps" 251L (op ui8 Ast.Sub [ 1L; 6L ]);
+  Alcotest.(check int64) "mul" 200L (op ui8 Ast.Mul [ 20L; 10L ]);
+  Alcotest.(check int64) "div" 6L (op ui8 Ast.Div [ 20L; 3L ]);
+  Alcotest.(check int64) "div by zero" 0L (op ui8 Ast.Div [ 20L; 0L ]);
+  Alcotest.(check int64) "rem" 2L (op ui8 Ast.Rem [ 20L; 3L ]);
+  Alcotest.(check int64) "and" 8L (op ui8 Ast.And [ 12L; 10L ]);
+  Alcotest.(check int64) "or" 14L (op ui8 Ast.Or [ 12L; 10L ]);
+  Alcotest.(check int64) "xor" 6L (op ui8 Ast.Xor [ 12L; 10L ]);
+  Alcotest.(check int64) "shl" 48L (op ui8 Ast.Shl [ 12L; 2L ]);
+  Alcotest.(check int64) "shr" 3L (op ui8 Ast.Shr [ 12L; 2L ]);
+  Alcotest.(check int64) "min" 3L (op ui8 Ast.Min [ 3L; 7L ]);
+  Alcotest.(check int64) "max" 7L (op ui8 Ast.Max [ 3L; 7L ]);
+  Alcotest.(check int64) "not" 243L (op ui8 Ast.Not [ 12L ]);
+  Alcotest.(check int64) "sqrt 16" 4L (op ui8 Ast.Sqrt [ 16L ]);
+  Alcotest.(check int64) "sqrt 17" 4L (op ui8 Ast.Sqrt [ 17L ]);
+  Alcotest.(check int64) "sqrt 0" 0L (op ui8 Ast.Sqrt [ 0L ])
+
+let test_signed_ops () =
+  Alcotest.(check int64) "signed div" (-6L) (op si8 Ast.Div [ -20L; 3L ]);
+  Alcotest.(check int64) "signed min" (-20L) (op si8 Ast.Min [ -20L; 3L ]);
+  Alcotest.(check int64) "abs" 20L (op si8 Ast.Abs [ -20L ]);
+  Alcotest.(check int64) "neg wraps" (-128L) (op si8 Ast.Neg [ -128L ]);
+  Alcotest.(check int64) "signed shr" (-2L) (op si8 Ast.Shr [ -8L; 2L ]);
+  Alcotest.(check int64) "signed lt" 1L (op si8 Ast.CmpLt [ -1L; 0L ])
+
+let test_unsigned_compare () =
+  (* 255 > 1 unsigned even though the bits look negative *)
+  Alcotest.(check int64) "unsigned gt" 1L (op ui8 Ast.CmpGt [ 255L; 1L ]);
+  Alcotest.(check int64) "select true" 42L (op ui8 Ast.Select [ 1L; 42L; 7L ]);
+  Alcotest.(check int64) "select false" 7L (op ui8 Ast.Select [ 0L; 42L; 7L ])
+
+let test_float_ops () =
+  let fp = Ty.Float 64 in
+  let f v = Int64.bits_of_float v in
+  let fo v = Int64.float_of_bits v in
+  Alcotest.(check (float 1e-12)) "fadd" 3.5 (fo (op fp Ast.Add [ f 1.25; f 2.25 ]));
+  Alcotest.(check (float 1e-12)) "fmul" 2.5 (fo (op fp Ast.Mul [ f 2.0; f 1.25 ]));
+  Alcotest.(check (float 1e-12)) "fdiv0" 0.0 (fo (op fp Ast.Div [ f 2.0; f 0.0 ]));
+  Alcotest.(check int64) "fcmp" 1L (op fp Ast.CmpLt [ f 1.0; f 2.0 ])
+
+let test_offsets_and_padding () =
+  let src =
+    {|
+define void @f (ui8 %x) pipe {
+  %prev = offset ui8 %x, -1
+  %next = offset ui8 %x, +1
+  %s = add ui8 %prev, %next
+  %out_y = mov ui8 %s
+}
+define void @main (ui8 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d = Validate.check_exn (Parser.parse src) in
+  let r = Interp.run d [ ("x", [| 1L; 2L; 3L; 4L |]) ] in
+  let y = snd (List.hd r.Interp.ir_outputs) in
+  (* y[i] = x[i-1] + x[i+1], zero-padded *)
+  Alcotest.(check bool) "padded stencil" true (y = [| 2L; 4L; 6L; 3L |])
+
+let test_reduction_accumulates () =
+  let src =
+    {|
+@acc = global ui16 init 5
+define void @f (ui16 %x) pipe {
+  @acc = add ui16 %x, @acc
+}
+define void @main (ui16 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d = Validate.check_exn (Parser.parse src) in
+  let r = Interp.run d [ ("x", [| 1L; 2L; 3L |]) ] in
+  Alcotest.(check int64) "5+1+2+3" 11L (List.assoc "acc" r.Interp.ir_globals)
+
+let test_scalar_call_args () =
+  let src =
+    {|
+define void @f (ui8 %x, ui8 %k) pipe {
+  %y = mul ui8 %x, %k
+  %out_y = mov ui8 %y
+}
+define void @main (ui8 %x) seq { call @f (%x, 3) pipe }
+|}
+  in
+  let d = Validate.check_exn (Parser.parse src) in
+  let r = Interp.run d [ ("x", [| 1L; 2L; 3L |]) ] in
+  Alcotest.(check bool) "scaled" true
+    (snd (List.hd r.Interp.ir_outputs) = [| 3L; 6L; 9L |])
+
+let test_par_lanes_execute () =
+  let src =
+    {|
+define void @f (ui8 %x) pipe {
+  %y = add ui8 %x, 1
+  %out_y = mov ui8 %y
+}
+define void @lanes (ui8 %a, ui8 %b) par {
+  call @f (%a) pipe
+  call @f (%b) pipe
+}
+define void @main (ui8 %a, ui8 %b) seq { call @lanes (%a, %b) par }
+|}
+  in
+  let d = Validate.check_exn (Parser.parse src) in
+  let r =
+    Interp.run d [ ("a", [| 1L; 2L |]); ("b", [| 10L; 20L |]) ]
+  in
+  Alcotest.(check int) "two output groups" 2 (List.length r.Interp.ir_outputs);
+  let arrays = List.map snd r.Interp.ir_outputs in
+  Alcotest.(check bool) "lane values" true
+    (arrays = [ [| 2L; 3L |]; [| 11L; 21L |] ])
+
+let test_gathered_output () =
+  let src =
+    {|
+define void @f (ui8 %x) pipe {
+  %y = add ui8 %x, 1
+  %out_y = mov ui8 %y
+}
+define void @lanes (ui8 %a, ui8 %b) par {
+  call @f (%a) pipe
+  call @f (%b) pipe
+}
+define void @main (ui8 %a, ui8 %b) seq { call @lanes (%a, %b) par }
+|}
+  in
+  let d = Validate.check_exn (Parser.parse src) in
+  let r = Interp.run d [ ("a", [| 1L |]); ("b", [| 10L |]) ] in
+  Alcotest.(check bool) "gathered lane-major" true
+    (Interp.gathered_output d r ~outputs_per_lane:1 ~nth:0 = [| 2L; 11L |])
+
+(* property: apply_op always lands in the type's range for random ops *)
+let prop_ops_in_range =
+  let ops =
+    [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Rem; Ast.And; Ast.Or; Ast.Xor;
+       Ast.Min; Ast.Max; Ast.Neg; Ast.Not |]
+  in
+  QCheck.Test.make ~name:"integer op results in range" ~count:1000
+    QCheck.(triple (int_range 0 11) (int_range 1 32) (pair int64 int64))
+    (fun (oi, w, (a, b)) ->
+      let t = Ty.UInt w in
+      let o = ops.(oi) in
+      let a = Ty.mask t a and b = Ty.mask t b in
+      let args = if Ast.arity o = 1 then [ a ] else [ a; b ] in
+      let r = op t o args in
+      match Ty.int_range t with
+      | Some (lo, hi) -> Int64.compare r lo >= 0 && Int64.compare r hi <= 0
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "integer ops" `Quick test_int_ops;
+    Alcotest.test_case "signed ops" `Quick test_signed_ops;
+    Alcotest.test_case "unsigned compare & select" `Quick test_unsigned_compare;
+    Alcotest.test_case "float ops" `Quick test_float_ops;
+    Alcotest.test_case "offsets & padding" `Quick test_offsets_and_padding;
+    Alcotest.test_case "reduction accumulates" `Quick test_reduction_accumulates;
+    Alcotest.test_case "scalar call args" `Quick test_scalar_call_args;
+    Alcotest.test_case "par lanes execute" `Quick test_par_lanes_execute;
+    Alcotest.test_case "gathered output" `Quick test_gathered_output;
+    QCheck_alcotest.to_alcotest prop_ops_in_range;
+  ]
+
+let test_seq_design_executes () =
+  (* C4: datapath directly in a sequential @main *)
+  let p = Tytra_kernels.Lavamd.program ~boxes:1 () in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Seq in
+  let env = Tytra_kernels.Workloads.random_env p in
+  let golden = Tytra_front.Eval.run_baseline p env in
+  let r = Interp.run d env in
+  let fx = Interp.gathered_output d r ~outputs_per_lane:3 ~nth:0 in
+  Alcotest.(check bool) "seq == baseline" true
+    (fx = List.assoc "fx" golden.Tytra_front.Eval.outputs)
+
+let test_float_design_executes () =
+  let p =
+    Tytra_kernels.Sor.program ~ty:(Ty.Float 32) ~im:4 ~jm:3 ~km:3 ()
+  in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  let env = Tytra_kernels.Workloads.random_env p in
+  let golden = Tytra_front.Eval.run_baseline p env in
+  let r = Interp.run d env in
+  let out = Interp.gathered_output d r ~outputs_per_lane:1 ~nth:0 in
+  Alcotest.(check bool) "fp32 interp == eval" true
+    (out = List.assoc "p" golden.Tytra_front.Eval.outputs)
+
+let test_empty_stream () =
+  let src =
+    {|
+define void @f (ui8 %x) pipe { %out_y = mov ui8 %x }
+define void @main (ui8 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d = Validate.check_exn (Parser.parse src) in
+  let r = Interp.run d [ ("x", [||]) ] in
+  Alcotest.(check int) "empty output" 0
+    (Array.length (snd (List.hd r.Interp.ir_outputs)))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "seq (C4) design executes" `Quick
+        test_seq_design_executes;
+      Alcotest.test_case "float design executes" `Quick
+        test_float_design_executes;
+      Alcotest.test_case "empty stream" `Quick test_empty_stream;
+    ]

@@ -1,0 +1,26 @@
+(* Aggregated test runner for the whole repository. *)
+
+let () =
+  Alcotest.run "tytra"
+    [
+      ("ty", Test_ty.suite);
+      ("parser", Test_parser.suite);
+      ("validate", Test_validate.suite);
+      ("analysis", Test_analysis.suite);
+      ("interp", Test_interp.suite);
+      ("front", Test_front.suite);
+      ("optim", Test_optim.suite);
+      ("fortran", Test_fortran.suite);
+      ("cfront", Test_cfront.suite);
+      ("chain", Test_chain.suite);
+      ("formsel", Test_formsel.suite);
+      ("hdl", Test_hdl.suite);
+      ("cost", Test_cost.suite);
+      ("device", Test_device.suite);
+      ("sim", Test_sim.suite);
+      ("kernels", Test_kernels.suite);
+      ("dse", Test_dse.suite);
+      ("streambench", Test_streambench.suite);
+      ("robustness", Test_robustness.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,238 @@
+(* Optimizer tests: each rewrite, plus the central property — optimized
+   designs are interpreter-equivalent to the original. *)
+
+open Tytra_ir
+
+let parse_valid src = Validate.check_exn (Parser.parse src)
+
+let body_of d name = (Ast.find_func_exn d name).Ast.fn_body
+
+let count_op d fname op =
+  List.length
+    (List.filter
+       (function Ast.Assign { op = o; _ } -> o = op | _ -> false)
+       (body_of d fname))
+
+let test_constant_folding () =
+  let d =
+    parse_valid
+      {|
+define void @f (ui16 %x) pipe {
+  %a = add ui16 3, 4
+  %b = mul ui16 %a, %x
+  %out_y = mov ui16 %b
+}
+define void @main (ui16 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d', st = Optim.run d in
+  Alcotest.(check bool) "folded" true (st.Optim.folded >= 1);
+  Alcotest.(check int) "no adds left" 0 (count_op d' "f" Ast.Add);
+  (* the folded constant feeds the multiply *)
+  let has_mul_by_7 =
+    List.exists
+      (function
+        | Ast.Assign { op = Ast.Mul; args; _ } -> List.mem (Ast.Imm 7L) args
+        | _ -> false)
+      (body_of d' "f")
+  in
+  Alcotest.(check bool) "constant propagated" true has_mul_by_7
+
+let test_strength_reduction_mul () =
+  let d =
+    parse_valid
+      {|
+define void @f (ui16 %x) pipe {
+  %a = mul ui16 %x, 8
+  %out_y = mov ui16 %a
+}
+define void @main (ui16 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d', st = Optim.run d in
+  Alcotest.(check bool) "reduced" true (st.Optim.reduced >= 1);
+  Alcotest.(check int) "mul gone" 0 (count_op d' "f" Ast.Mul);
+  Alcotest.(check int) "shl appears" 1 (count_op d' "f" Ast.Shl)
+
+let test_strength_reduction_div_rem () =
+  let d =
+    parse_valid
+      {|
+define void @f (ui16 %x) pipe {
+  %q = div ui16 %x, 16
+  %r = rem ui16 %x, 16
+  %s = add ui16 %q, %r
+  %out_y = mov ui16 %s
+}
+define void @main (ui16 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d', _ = Optim.run d in
+  Alcotest.(check int) "div gone" 0 (count_op d' "f" Ast.Div);
+  Alcotest.(check int) "rem gone" 0 (count_op d' "f" Ast.Rem);
+  Alcotest.(check int) "shr appears" 1 (count_op d' "f" Ast.Shr);
+  Alcotest.(check int) "and appears" 1 (count_op d' "f" Ast.And)
+
+let test_signed_div_not_reduced () =
+  (* arithmetic shift rounds toward -inf; signed division must survive *)
+  let d =
+    parse_valid
+      {|
+define void @f (si16 %x) pipe {
+  %q = div si16 %x, 4
+  %out_y = mov si16 %q
+}
+define void @main (si16 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d', _ = Optim.run d in
+  Alcotest.(check int) "signed div kept" 1 (count_op d' "f" Ast.Div)
+
+let test_identities () =
+  let d =
+    parse_valid
+      {|
+define void @f (ui16 %x) pipe {
+  %a = add ui16 %x, 0
+  %b = mul ui16 %a, 1
+  %c = xor ui16 %b, %b
+  %s = add ui16 %b, %c
+  %out_y = mov ui16 %s
+}
+define void @main (ui16 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d', _ = Optim.run d in
+  (* everything simplifies to out_y = mov x *)
+  let ni = Analysis.ni_of_func d' (Ast.find_func_exn d' "f") in
+  Alcotest.(check int) "datapath collapses" 0 ni
+
+let test_cse () =
+  let d =
+    parse_valid
+      {|
+define void @f (ui16 %x, ui16 %y) pipe {
+  %a = mul ui16 %x, %y
+  %b = mul ui16 %x, %y
+  %s = add ui16 %a, %b
+  %out_y = mov ui16 %s
+}
+define void @main (ui16 %x, ui16 %y) seq { call @f (%x, %y) pipe }
+|}
+  in
+  let d', st = Optim.run d in
+  Alcotest.(check bool) "cse hit" true (st.Optim.cse >= 1);
+  Alcotest.(check int) "one mul left" 1 (count_op d' "f" Ast.Mul)
+
+let test_dce () =
+  let d =
+    parse_valid
+      {|
+define void @f (ui16 %x) pipe {
+  %dead = mul ui16 %x, %x
+  %deadoff = offset ui16 %x, +3
+  %a = add ui16 %x, 1
+  %out_y = mov ui16 %a
+}
+define void @main (ui16 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d', st = Optim.run d in
+  Alcotest.(check bool) "dce removed" true (st.Optim.dce >= 2);
+  Alcotest.(check int) "mul gone" 0 (count_op d' "f" Ast.Mul);
+  (* the unused offset also disappears, shrinking Noff *)
+  Alcotest.(check int) "noff 0" 0
+    (Analysis.noff_of_func d' (Ast.find_func_exn d' "f"))
+
+let test_reductions_survive () =
+  let d =
+    parse_valid
+      {|
+@acc = global ui16 init 0
+define void @f (ui16 %x) pipe {
+  %a = mul ui16 %x, %x
+  @acc = add ui16 %a, @acc
+}
+define void @main (ui16 %x) seq { call @f (%x) pipe }
+|}
+  in
+  let d', _ = Optim.run d in
+  Alcotest.(check int) "mul kept for the reduction" 1 (count_op d' "f" Ast.Mul);
+  Alcotest.(check bool) "reduction kept" true
+    (List.exists
+       (function Ast.Assign { dst = Ast.Dglobal _; _ } -> true | _ -> false)
+       (body_of d' "f"))
+
+let test_optimized_validates () =
+  let p = Tytra_kernels.Sor.table2_program () in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  let d', _ = Optim.run d in
+  Alcotest.(check (list Alcotest.string)) "valid after optimization" []
+    (List.map Validate.error_to_string (Validate.check d'))
+
+let test_cost_improves () =
+  (* a kernel with pow2 multiplies: optimization must cut DSPs *)
+  let open Tytra_front.Expr in
+  let k =
+    {
+      k_name = "pow2";
+      k_ty = Ty.UInt 18;
+      k_inputs = [ "x" ];
+      k_params = [];
+      k_outputs =
+        [ { o_name = "y"; o_expr = (input "x" *: ci 4) +: (input "x" *: ci 16) } ];
+      k_reductions = [];
+    }
+  in
+  let p = { p_kernel = k; p_shape = [ 64 ] } in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  let d', _ = Optim.run d in
+  let dsps dd =
+    (Tytra_cost.Resource_model.estimate dd)
+      .Tytra_cost.Resource_model.est_usage.Tytra_device.Resources.dsps
+  in
+  Alcotest.(check int) "2 DSPs before" 2 (dsps d);
+  Alcotest.(check int) "0 DSPs after" 0 (dsps d')
+
+(* the central property: semantics preservation on random kernels *)
+let prop_semantics_preserved =
+  QCheck.Test.make ~name:"optimizer preserves interpreter semantics" ~count:60
+    Gen.arb_program
+    (fun p ->
+      let env = Tytra_kernels.Workloads.random_env p in
+      let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+      let d', _ = Optim.run d in
+      Validate.is_valid d'
+      &&
+      let r = Interp.run d env and r' = Interp.run d' env in
+      List.map snd r.Interp.ir_outputs = List.map snd r'.Interp.ir_outputs
+      && r.Interp.ir_globals = r'.Interp.ir_globals)
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"optimizer is idempotent" ~count:30 Gen.arb_program
+    (fun p ->
+      let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+      let d1, _ = Optim.run d in
+      let d2, st = Optim.run d1 in
+      Ast.equal_design d1 d2
+      && st.Optim.folded = 0 && st.Optim.dce = 0 && st.Optim.cse = 0)
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "strength reduction: mul" `Quick
+      test_strength_reduction_mul;
+    Alcotest.test_case "strength reduction: div/rem" `Quick
+      test_strength_reduction_div_rem;
+    Alcotest.test_case "signed div kept" `Quick test_signed_div_not_reduced;
+    Alcotest.test_case "algebraic identities" `Quick test_identities;
+    Alcotest.test_case "cse" `Quick test_cse;
+    Alcotest.test_case "dce" `Quick test_dce;
+    Alcotest.test_case "reductions survive" `Quick test_reductions_survive;
+    Alcotest.test_case "optimized design validates" `Quick
+      test_optimized_validates;
+    Alcotest.test_case "cost improves on pow2 kernels" `Quick
+      test_cost_improves;
+    QCheck_alcotest.to_alcotest prop_semantics_preserved;
+    QCheck_alcotest.to_alcotest prop_idempotent;
+  ]

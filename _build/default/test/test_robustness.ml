@@ -1,0 +1,140 @@
+(* Whole-stack robustness properties on randomly generated programs:
+   every stage must accept whatever the front end can produce. *)
+
+open Tytra_front
+
+let lower_pipe p = Lower.lower p Transform.Pipe
+
+let prop_verilog_emits =
+  QCheck.Test.make ~name:"verilog emission total on random designs" ~count:40
+    Gen.arb_program
+    (fun p ->
+      let d = lower_pipe p in
+      let v = Tytra_hdl.Verilog.emit d in
+      let count needle hay =
+        let n = String.length needle in
+        let rec go i acc =
+          if i + n > String.length hay then acc
+          else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+          else go (i + 1) acc
+        in
+        go 0 0
+      in
+      String.length v > 200
+      && count "\nmodule " v = count "endmodule" v)
+
+let prop_techmap_total =
+  QCheck.Test.make ~name:"techmap total on random designs" ~count:30
+    Gen.arb_program
+    (fun p ->
+      let d = lower_pipe p in
+      let r = Tytra_sim.Techmap.run ~effort:`Fast d in
+      let u = r.Tytra_sim.Techmap.tm_usage in
+      u.Tytra_device.Resources.aluts > 0
+      && u.Tytra_device.Resources.regs > 0
+      && r.Tytra_sim.Techmap.tm_fmax_mhz > 0.0)
+
+let prop_schedule_operands_ready =
+  QCheck.Test.make ~name:"schedule: operands ready before use" ~count:40
+    Gen.arb_program
+    (fun p ->
+      let d = lower_pipe p in
+      let f = Tytra_ir.Ast.find_func_exn d "f0" in
+      let s = Tytra_hdl.Schedule.schedule_func d f in
+      let ready = s.Tytra_hdl.Schedule.sc_values in
+      List.for_all
+        (fun (sl : Tytra_hdl.Schedule.slot) ->
+          match sl.Tytra_hdl.Schedule.sl_instr with
+          | Tytra_ir.Ast.Assign { args; _ } ->
+              List.for_all
+                (function
+                  | Tytra_ir.Ast.Var v -> (
+                      match List.assoc_opt v ready with
+                      | Some t -> t <= sl.Tytra_hdl.Schedule.sl_start
+                      | None -> false)
+                  | _ -> true)
+                args
+          | _ -> true)
+        s.Tytra_hdl.Schedule.sc_slots)
+
+let prop_estimate_scales_with_lanes =
+  QCheck.Test.make ~name:"lane replication grows resources" ~count:30
+    Gen.arb_program
+    (fun p ->
+      QCheck.assume (Expr.points p mod 2 = 0);
+      let u v =
+        (Tytra_cost.Resource_model.estimate (Lower.lower p v))
+          .Tytra_cost.Resource_model.est_usage
+      in
+      let u1 = u Transform.Pipe and u2 = u (Transform.ParPipe 2) in
+      u2.Tytra_device.Resources.aluts > u1.Tytra_device.Resources.aluts
+      && u2.Tytra_device.Resources.regs > u1.Tytra_device.Resources.regs
+      && u2.Tytra_device.Resources.dsps >= u1.Tytra_device.Resources.dsps)
+
+let prop_optimizer_never_grows_dsps =
+  QCheck.Test.make ~name:"optimizer never grows DSPs or ALUTs" ~count:40
+    Gen.arb_program
+    (fun p ->
+      let d = lower_pipe p in
+      let d', _ = Tytra_ir.Optim.run d in
+      let u dd =
+        (Tytra_cost.Resource_model.estimate dd)
+          .Tytra_cost.Resource_model.est_usage
+      in
+      let a = u d and b = u d' in
+      b.Tytra_device.Resources.dsps <= a.Tytra_device.Resources.dsps
+      && b.Tytra_device.Resources.aluts <= a.Tytra_device.Resources.aluts)
+
+let prop_cost_report_total =
+  QCheck.Test.make ~name:"cost report total on random designs" ~count:40
+    Gen.arb_program
+    (fun p ->
+      let d = lower_pipe p in
+      let r = Tytra_cost.Report.evaluate ~nki:10 d in
+      let b = r.Tytra_cost.Report.rp_breakdown in
+      b.Tytra_cost.Throughput.bd_ekit > 0.0
+      && b.Tytra_cost.Throughput.bd_total_s > 0.0
+      && Float.is_finite b.Tytra_cost.Throughput.bd_ekit)
+
+let prop_cyclesim_total =
+  QCheck.Test.make ~name:"cyclesim terminates on random designs" ~count:15
+    Gen.arb_program
+    (fun p ->
+      let d = lower_pipe p in
+      let r = Tytra_sim.Cyclesim.run ~form:Tytra_sim.Cyclesim.B d in
+      r.Tytra_sim.Cyclesim.r_cycles_per_ki >= float_of_int (Expr.points p)
+      && Float.is_finite r.Tytra_sim.Cyclesim.r_total_s)
+
+let prop_analysis_consistency =
+  let arb_p = Gen.arb_program in
+  QCheck.Test.make ~name:"analysis params self-consistent" ~count:40
+    QCheck.(pair arb_p (int_range 0 2))
+    (fun (p, vi) ->
+      let v =
+        match vi with
+        | 0 -> Transform.Pipe
+        | 1 -> Transform.Seq
+        | _ ->
+            if Expr.points p mod 4 = 0 then Transform.ParPipe 4
+            else Transform.Pipe
+      in
+      let q = Tytra_ir.Analysis.params (Lower.lower p v) in
+      q.Tytra_ir.Analysis.ngs = Expr.points p
+      && q.Tytra_ir.Analysis.knl = Transform.lanes v
+      && q.Tytra_ir.Analysis.nwpt
+         = List.length p.Expr.p_kernel.Expr.k_inputs
+           + List.length p.Expr.p_kernel.Expr.k_outputs
+      && q.Tytra_ir.Analysis.noff = Expr.max_offset p.Expr.p_kernel
+      && q.Tytra_ir.Analysis.kpd >= 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_verilog_emits;
+    QCheck_alcotest.to_alcotest prop_techmap_total;
+    QCheck_alcotest.to_alcotest prop_schedule_operands_ready;
+    QCheck_alcotest.to_alcotest prop_estimate_scales_with_lanes;
+    QCheck_alcotest.to_alcotest prop_optimizer_never_grows_dsps;
+    QCheck_alcotest.to_alcotest prop_cost_report_total;
+    QCheck_alcotest.to_alcotest prop_cyclesim_total;
+    QCheck_alcotest.to_alcotest prop_analysis_consistency;
+  ]

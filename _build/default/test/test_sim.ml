@@ -1,0 +1,253 @@
+(* Simulator-substrate tests: PRNG determinism, the DRAM request model,
+   the host link, the technology mapper, the cycle-level simulator, and
+   the power model. *)
+
+open Tytra_sim
+open Tytra_device
+
+let test_prng_determinism () =
+  let a = Prng.of_string "seed" and b = Prng.of_string "seed" in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done;
+  let c = Prng.of_string "other" in
+  Alcotest.(check bool) "different seed differs" true
+    (Prng.next_int64 (Prng.of_string "seed") <> Prng.next_int64 c)
+
+let test_prng_ranges () =
+  let r = Prng.of_string "ranges" in
+  for _ = 1 to 1000 do
+    let f = Prng.float r in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let i = Prng.int r 7 in
+    Alcotest.(check bool) "int in [0,7)" true (i >= 0 && i < 7);
+    let n = Prng.noise r 0.05 in
+    Alcotest.(check bool) "noise in [0.95,1.05]" true (n >= 0.95 && n <= 1.05)
+  done
+
+(* ---- DRAM ---- *)
+
+let test_dram_row_hits () =
+  let cfg = Device.virtex7_690t.Device.dram in
+  let d = Dram.create cfg in
+  let hit_then =
+    let first = Dram.service_cycles d ~addr:0 ~bytes:64 ~merged:true in
+    let second = Dram.service_cycles d ~addr:64 ~bytes:64 ~merged:true in
+    (first, second)
+  in
+  Alcotest.(check bool) "first access opens row (slower)" true
+    (fst hit_then > snd hit_then)
+
+let test_dram_contiguous_beats_strided () =
+  let cfg = Device.virtex7_690t.Device.dram in
+  let d = Dram.create cfg in
+  (* contiguous: 1 MiB in merged 64 B requests *)
+  let t_cont = ref 0.0 in
+  for i = 0 to (1 lsl 20) / 64 - 1 do
+    t_cont := !t_cont +. Dram.service_s d ~addr:(i * 64) ~bytes:64 ~merged:true
+  done;
+  Dram.reset d;
+  (* strided: same payload, one 4 B element per request, 8 KiB apart *)
+  let t_str = ref 0.0 in
+  for i = 0 to ((1 lsl 20) / 64) - 1 do
+    t_str := !t_str +. Dram.service_s d ~addr:(i * 8192) ~bytes:4 ~merged:false
+  done;
+  (* per-useful-byte, strided must be >= 1 order of magnitude slower *)
+  let bw_cont = 1048576.0 /. !t_cont in
+  let bw_str = float_of_int (((1 lsl 20) / 64) * 4) /. !t_str in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %.0fx" (bw_cont /. bw_str))
+    true
+    (bw_cont /. bw_str > 10.0)
+
+let test_dram_counters () =
+  let d = Dram.create Device.virtex7_690t.Device.dram in
+  ignore (Dram.service_cycles d ~addr:0 ~bytes:64 ~merged:true);
+  ignore (Dram.service_cycles d ~addr:64 ~bytes:64 ~merged:true);
+  Alcotest.(check int) "2 requests" 2 d.Dram.requests;
+  Alcotest.(check int64) "128 bytes" 128L d.Dram.bytes_moved;
+  Alcotest.(check bool) "achieved bw positive" true (Dram.achieved_bps d > 0.0);
+  Dram.reset d;
+  Alcotest.(check int) "reset" 0 d.Dram.requests
+
+(* ---- host link ---- *)
+
+let test_hostlink () =
+  let link = Device.stratixv_gsd8.Device.link in
+  let small = Hostlink.transfer_s link ~bytes:64 in
+  let large = Hostlink.transfer_s link ~bytes:(1 lsl 26) in
+  Alcotest.(check bool) "latency floor" true (small >= link.Device.link_latency_s);
+  let eff = Hostlink.effective_bps link ~bytes:(1 lsl 26) in
+  Alcotest.(check bool) "large transfer near peak*eff" true
+    (eff > 0.9 *. link.Device.link_eff *. link.Device.link_peak_bps);
+  Alcotest.(check bool) "monotone" true (large > small);
+  Alcotest.(check (float 0.0)) "zero bytes" 0.0 (Hostlink.transfer_s link ~bytes:0)
+
+(* ---- techmap ---- *)
+
+let sor_design v =
+  Tytra_front.Lower.lower (Tytra_kernels.Sor.program ~im:8 ~jm:6 ~km:6 ()) v
+
+let test_techmap_deterministic () =
+  let d = sor_design Tytra_front.Transform.Pipe in
+  let a = Techmap.run ~effort:`Fast d and b = Techmap.run ~effort:`Fast d in
+  Alcotest.(check bool) "same usage" true (a.Techmap.tm_usage = b.Techmap.tm_usage);
+  Alcotest.(check (float 1e-9)) "same fmax" a.Techmap.tm_fmax_mhz b.Techmap.tm_fmax_mhz
+
+let test_techmap_close_to_estimate () =
+  (* estimate-vs-actual errors stay in the paper's Table II range *)
+  List.iter
+    (fun prog ->
+      let d = Tytra_front.Lower.lower prog Tytra_front.Transform.Pipe in
+      let est =
+        (Tytra_cost.Resource_model.estimate d).Tytra_cost.Resource_model.est_usage
+      in
+      let act = (Techmap.run ~effort:`Fast d).Techmap.tm_usage in
+      let open Resources in
+      let pct e a =
+        if a = 0 then if e = 0 then 0.0 else 100.0
+        else 100.0 *. Float.abs (float_of_int (e - a)) /. float_of_int a
+      in
+      Alcotest.(check bool) "ALUT err < 10%" true (pct est.aluts act.aluts < 10.0);
+      Alcotest.(check bool) "REG err < 12%" true (pct est.regs act.regs < 12.0);
+      Alcotest.(check bool) "BRAM err < 5%" true
+        (pct est.bram_bits act.bram_bits < 5.0);
+      Alcotest.(check bool) "DSP err < 20%" true (pct est.dsps act.dsps < 20.0))
+    [
+      Tytra_kernels.Sor.table2_program ();
+      Tytra_kernels.Lavamd.table2_program ();
+    ]
+
+let test_techmap_unit_dsp_merge_direction () =
+  (* synthesis may merge DSPs (actual <= model) but never invents them *)
+  let d =
+    Tytra_front.Lower.lower
+      (Tytra_kernels.Lavamd.table2_program ())
+      Tytra_front.Transform.Pipe
+  in
+  let est =
+    (Tytra_cost.Resource_model.estimate d).Tytra_cost.Resource_model.est_usage
+  in
+  let act = (Techmap.run ~effort:`Fast d).Techmap.tm_usage in
+  Alcotest.(check bool) "dsps actual <= estimated" true
+    (act.Resources.dsps <= est.Resources.dsps)
+
+let test_techmap_effort_slower_but_same_resources () =
+  let d = sor_design Tytra_front.Transform.Pipe in
+  let fast = Techmap.run ~effort:`Fast d in
+  let full = Techmap.run ~effort:`Full d in
+  Alcotest.(check bool) "usage independent of placement effort" true
+    (fast.Techmap.tm_usage = full.Techmap.tm_usage)
+
+let test_map_unit_div_matches_rule () =
+  let u = Techmap.map_unit Tytra_ir.Ast.Div (Tytra_ir.Ty.UInt 24) in
+  Alcotest.(check bool) "~652 ALUTs at 24 bits" true
+    (abs (u.Resources.aluts - 652) < 12)
+
+(* ---- cyclesim ---- *)
+
+let test_cyclesim_lane_speedup () =
+  let p = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 () in
+  let run v =
+    (Cyclesim.run ~form:Cyclesim.B (Tytra_front.Lower.lower p v))
+      .Cyclesim.r_cycles_per_ki
+  in
+  let c1 = run Tytra_front.Transform.Pipe in
+  let c4 = run (Tytra_front.Transform.ParPipe 4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 lanes faster (%.0f vs %.0f)" c1 c4)
+    true (c4 < c1 /. 2.0)
+
+let test_cyclesim_forms () =
+  let p = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 () in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  let nki = 50 in
+  let a = Cyclesim.run ~form:Cyclesim.A ~nki d in
+  let b = Cyclesim.run ~form:Cyclesim.B ~nki d in
+  let c = Cyclesim.run ~form:Cyclesim.C ~nki d in
+  Alcotest.(check bool) "A pays host every instance" true
+    (a.Cyclesim.r_host_s > 10.0 *. b.Cyclesim.r_host_s);
+  Alcotest.(check bool) "B total < A total" true
+    (b.Cyclesim.r_total_s < a.Cyclesim.r_total_s);
+  Alcotest.(check bool) "C compute bound" true c.Cyclesim.r_compute_bound;
+  (* form C streams its windows from BRAM at one element per kernel cycle,
+     while form B's DRAM fill delivers a whole burst per request — so for a
+     compute-bound kernel B and C are within a few percent of each other *)
+  Alcotest.(check bool) "C within 5% of B per instance" true
+    (c.Cyclesim.r_time_per_ki_s <= 1.05 *. b.Cyclesim.r_time_per_ki_s)
+
+let test_cyclesim_cpki_scale () =
+  (* single-lane pipelined kernel: CPKI close to NGS + overheads *)
+  let p = Tytra_kernels.Sor.program ~im:8 ~jm:6 ~km:6 () in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  let r = Cyclesim.run ~form:Cyclesim.B d in
+  Alcotest.(check bool)
+    (Printf.sprintf "CPKI %.0f in [288, 600]" r.Cyclesim.r_cycles_per_ki)
+    true
+    (r.Cyclesim.r_cycles_per_ki >= 288.0 && r.Cyclesim.r_cycles_per_ki < 600.0)
+
+let test_cyclesim_strided_slower () =
+  let p = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 () in
+  let dc = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  let ds =
+    Tytra_front.Lower.lower ~pattern:(Tytra_ir.Ast.Strided 256) p
+      Tytra_front.Transform.Pipe
+  in
+  let rc = Cyclesim.run ~form:Cyclesim.B dc in
+  let rs = Cyclesim.run ~form:Cyclesim.B ds in
+  Alcotest.(check bool) "strided streams slower" true
+    (rs.Cyclesim.r_cycles_per_ki > 2.0 *. rc.Cyclesim.r_cycles_per_ki);
+  Alcotest.(check bool) "strided memory-bound" true
+    (not rs.Cyclesim.r_compute_bound)
+
+(* ---- power / cpu model ---- *)
+
+let test_power_monotone_in_resources () =
+  let dev = Device.stratixv_gsd8 in
+  let u1 =
+    { Resources.aluts = 1000; regs = 2000; bram_bits = 10000; bram_blocks = 1;
+      dsps = 4 }
+  in
+  let u4 = Resources.scale 4 u1 in
+  let p1 = Power.fpga_delta_w dev u1 ~fmax_mhz:200. ~gmem_bps:1e9 ~host_bps:1e8 in
+  let p4 = Power.fpga_delta_w dev u4 ~fmax_mhz:200. ~gmem_bps:1e9 ~host_bps:1e8 in
+  Alcotest.(check bool) "more logic, more power" true (p4 > p1);
+  Alcotest.(check bool) "above static floor" true
+    (p1 > dev.Device.power.Device.pw_static_w)
+
+let test_cpu_model () =
+  let cpu = Device.host_i7 in
+  let small = Tytra_kernels.Sor.cpu_workload ~side:24 in
+  let large = Tytra_kernels.Sor.cpu_workload ~side:192 in
+  let ts = Cpu_model.instance_s cpu small in
+  let tl = Cpu_model.instance_s cpu large in
+  Alcotest.(check bool) "larger grid slower" true (tl > 100.0 *. ts);
+  Alcotest.(check (float 1e-12)) "run_s = nki * instance"
+    (1000.0 *. tl)
+    (Cpu_model.run_s cpu large ~nki:1000)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+    Alcotest.test_case "dram row hits" `Quick test_dram_row_hits;
+    Alcotest.test_case "dram contiguous >> strided" `Quick
+      test_dram_contiguous_beats_strided;
+    Alcotest.test_case "dram counters" `Quick test_dram_counters;
+    Alcotest.test_case "host link" `Quick test_hostlink;
+    Alcotest.test_case "techmap deterministic" `Quick test_techmap_deterministic;
+    Alcotest.test_case "techmap close to estimate" `Quick
+      test_techmap_close_to_estimate;
+    Alcotest.test_case "techmap dsp merge direction" `Quick
+      test_techmap_unit_dsp_merge_direction;
+    Alcotest.test_case "techmap effort invariant" `Quick
+      test_techmap_effort_slower_but_same_resources;
+    Alcotest.test_case "map_unit div" `Quick test_map_unit_div_matches_rule;
+    Alcotest.test_case "cyclesim lane speedup" `Quick test_cyclesim_lane_speedup;
+    Alcotest.test_case "cyclesim forms A/B/C" `Quick test_cyclesim_forms;
+    Alcotest.test_case "cyclesim CPKI scale" `Quick test_cyclesim_cpki_scale;
+    Alcotest.test_case "cyclesim strided slower" `Quick
+      test_cyclesim_strided_slower;
+    Alcotest.test_case "power monotone" `Quick test_power_monotone_in_resources;
+    Alcotest.test_case "cpu model" `Quick test_cpu_model;
+  ]

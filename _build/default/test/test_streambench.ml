@@ -1,0 +1,106 @@
+(* Stream-benchmark tests: the Fig 10 curve family and the calibration
+   round-trip into the cost model. *)
+
+open Tytra_streambench
+open Tytra_device
+
+let dev = Device.virtex7_690t
+
+let test_contiguous_rises_then_plateaus () =
+  let bw side = (Streambench.copy dev `Cont ~side).Streambench.m_bps in
+  let small = bw 100 and mid = bw 1000 and big = bw 4000 and big2 = bw 6000 in
+  Alcotest.(check bool) "rising" true (small < mid && mid < big);
+  Alcotest.(check bool) "plateau" true
+    (Float.abs (big2 -. big) /. big < 0.10)
+
+let test_paper_endpoints () =
+  (* Fig 10: ~0.3 Gbit/s at side 100, ~6.3 Gbit/s at side 6000 *)
+  let gbit m = m.Streambench.m_bps *. 8.0 /. 1e9 in
+  let s100 = gbit (Streambench.copy dev `Cont ~side:100) in
+  let s6000 = gbit (Streambench.copy dev `Cont ~side:6000) in
+  Alcotest.(check bool) (Printf.sprintf "side 100 = %.2f" s100) true
+    (s100 > 0.15 && s100 < 0.6);
+  Alcotest.(check bool) (Printf.sprintf "side 6000 = %.2f" s6000) true
+    (s6000 > 5.5 && s6000 < 7.5)
+
+let test_strided_flat_and_slow () =
+  let gbit side =
+    (Streambench.copy dev `Strided ~side).Streambench.m_bps *. 8.0 /. 1e9
+  in
+  let s500 = gbit 500 and s2000 = gbit 2000 in
+  Alcotest.(check bool) "strided ~0.07 Gbit/s" true
+    (s500 > 0.03 && s500 < 0.15);
+  Alcotest.(check bool) "flat" true (Float.abs (s2000 -. s500) /. s500 < 0.3)
+
+let test_two_orders_of_magnitude () =
+  let cont = (Streambench.copy dev `Cont ~side:2000).Streambench.m_bps in
+  let str = (Streambench.copy dev `Strided ~side:2000).Streambench.m_bps in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %.0fx" (cont /. str))
+    true
+    (cont /. str > 30.0 && cont /. str < 300.0)
+
+let test_random_behaves_like_strided () =
+  (* §V-C: "little difference in sustained bandwidth between fixed-stride
+     and true random access" *)
+  let str = (Streambench.copy dev `Strided ~side:1000).Streambench.m_bps in
+  let rnd = (Streambench.copy dev `Random ~side:1000).Streambench.m_bps in
+  Alcotest.(check bool)
+    (Printf.sprintf "random %.3g vs strided %.3g" rnd str)
+    true
+    (rnd /. str > 0.5 && rnd /. str < 2.0)
+
+let test_sweep_and_calibration_roundtrip () =
+  let ms =
+    Streambench.sweep ~cont_sides:[ 200; 1000; 3000 ] ~strided_sides:[ 500 ]
+      dev
+  in
+  Alcotest.(check int) "5 measurements" 5 (List.length ms);
+  let calib = Streambench.to_calib dev ms in
+  (* the calibration must reproduce the measured points *)
+  List.iter
+    (fun (m : Streambench.measurement) ->
+      if m.Streambench.m_pattern = `Cont then begin
+        let predicted =
+          Bandwidth.sustained calib `Cont
+            ~bytes:(float_of_int m.Streambench.m_bytes)
+        in
+        Alcotest.(check bool) "calibration reproduces measurement" true
+          (Float.abs (predicted -. m.Streambench.m_bps) /. m.Streambench.m_bps
+           < 1e-6)
+      end)
+    ms
+
+let test_regenerated_matches_shipped_calibration () =
+  (* E2's claim: the streambench curve on the simulated platform matches
+     the shipped Fig 10 calibration within a factor of ~1.6 everywhere *)
+  let shipped = Bandwidth.virtex7_default in
+  List.iter
+    (fun side ->
+      let measured = (Streambench.copy dev `Cont ~side).Streambench.m_bps in
+      let expected =
+        Bandwidth.sustained shipped `Cont
+          ~bytes:(float_of_int (side * side * 4))
+      in
+      let ratio = measured /. expected in
+      Alcotest.(check bool)
+        (Printf.sprintf "side %d ratio %.2f" side ratio)
+        true
+        (ratio > 0.6 && ratio < 1.7))
+    [ 100; 400; 1000; 2000; 4000 ]
+
+let suite =
+  [
+    Alcotest.test_case "contiguous rises then plateaus" `Quick
+      test_contiguous_rises_then_plateaus;
+    Alcotest.test_case "paper endpoints" `Quick test_paper_endpoints;
+    Alcotest.test_case "strided flat & slow" `Quick test_strided_flat_and_slow;
+    Alcotest.test_case "two orders of magnitude" `Quick
+      test_two_orders_of_magnitude;
+    Alcotest.test_case "random ~ strided" `Quick
+      test_random_behaves_like_strided;
+    Alcotest.test_case "calibration roundtrip" `Quick
+      test_sweep_and_calibration_roundtrip;
+    Alcotest.test_case "matches shipped calibration" `Quick
+      test_regenerated_matches_shipped_calibration;
+  ]

@@ -1,0 +1,315 @@
+(* Validator tests: each well-formedness rule of the IR has a positive
+   and a negative case. *)
+
+open Tytra_ir
+
+let parse = Parser.parse
+
+let errors src = Validate.check (parse src)
+
+let has_error_matching src substr =
+  let errs = errors src in
+  if
+    List.exists
+      (fun e ->
+        let s = Validate.error_to_string e in
+        let n = String.length substr in
+        let rec find i =
+          i + n <= String.length s && (String.sub s i n = substr || find (i + 1))
+        in
+        find 0)
+      errs
+  then ()
+  else
+    Alcotest.failf "expected error containing %S, got: %s" substr
+      (String.concat "; " (List.map Validate.error_to_string errs))
+
+let valid_base =
+  {|
+define void @f (ui18 %x) pipe {
+  %y = add ui18 %x, 1
+  %out_y = mov ui18 %y
+}
+define void @main (ui18 %x) seq {
+  call @f (%x) pipe
+}
+|}
+
+let test_valid () =
+  Alcotest.(check int) "no errors" 0 (List.length (errors valid_base))
+
+let test_ssa_reassign () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  %y = add ui18 %x, 1
+  %y = add ui18 %x, 2
+}
+|}
+    "reassigned"
+
+let test_use_before_def () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  %y = add ui18 %z, 1
+}
+|}
+    "undefined local"
+
+let test_param_shadow_is_reassign () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  %x = add ui18 %x, 1
+}
+|}
+    "reassigned"
+
+let test_type_mismatch () =
+  has_error_matching
+    {|
+define void @main (ui18 %x, ui32 %w) seq {
+  %y = add ui18 %x, %w
+}
+|}
+    "type"
+
+let test_imm_out_of_range () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  %y = add ui18 %x, 300000
+}
+|}
+    "out of range"
+
+let test_float_imm_at_int () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  %y = add ui18 %x, 1.5
+}
+|}
+    "float immediate"
+
+let test_bitwise_on_float () =
+  has_error_matching
+    {|
+define void @main (fp32 %x) seq {
+  %y = xor fp32 %x, %x
+}
+|}
+    "float"
+
+let test_call_undefined () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  call @nope (%x) pipe
+}
+|}
+    "undefined function"
+
+let test_call_kind_mismatch () =
+  has_error_matching
+    {|
+define void @f (ui18 %x) pipe { }
+define void @main (ui18 %x) seq {
+  call @f (%x) par
+}
+|}
+    "kind"
+
+let test_call_arity () =
+  has_error_matching
+    {|
+define void @f (ui18 %x, ui18 %y) pipe { }
+define void @main (ui18 %x) seq {
+  call @f (%x) pipe
+}
+|}
+    "arguments"
+
+let test_recursion_rejected () =
+  has_error_matching
+    {|
+define void @f (ui18 %x) pipe {
+  call @g (%x) pipe
+}
+define void @g (ui18 %x) pipe {
+  call @f (%x) pipe
+}
+define void @main (ui18 %x) seq {
+  call @f (%x) pipe
+}
+|}
+    "recursive"
+
+let test_par_body_shape () =
+  has_error_matching
+    {|
+define void @p (ui18 %x) par {
+  %y = add ui18 %x, 1
+}
+define void @main (ui18 %x) seq {
+  call @p (%x) par
+}
+|}
+    "par function body"
+
+let test_comb_body_shape () =
+  has_error_matching
+    {|
+define void @c (ui18 %x) comb {
+  %y = offset ui18 %x, +1
+}
+define void @main (ui18 %x) seq {
+  call @c (%x) comb
+}
+|}
+    "comb"
+
+let test_offset_of_nonparam () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  %y = add ui18 %x, 1
+  %z = offset ui18 %y, +1
+}
+|}
+    "stream parameter"
+
+let test_no_main () =
+  has_error_matching {|
+define void @f (ui18 %x) pipe { }
+|} "no @main"
+
+let test_stream_unknown_mem () =
+  has_error_matching
+    {|
+%s = stream istream %nomem pattern cont
+define void @main () seq { }
+|}
+    "unknown memory object"
+
+let test_port_unknown_stream () =
+  has_error_matching
+    {|
+@main.p = addrspace(1) ui18 !istream !cont !0 !ghost
+define void @main (ui18 %p) seq { }
+|}
+    "unknown stream"
+
+let test_port_dir_conflict () =
+  has_error_matching
+    {|
+%m = memobj global ui18 size 8
+%s = stream ostream %m pattern cont
+@main.p = addrspace(1) ui18 !istream !cont !0 !s
+define void @main (ui18 %p) seq { }
+|}
+    "direction"
+
+let test_port_type_conflict () =
+  has_error_matching
+    {|
+%m = memobj global ui32 size 8
+%s = stream istream %m pattern cont
+@main.p = addrspace(1) ui18 !istream !cont !0 !s
+define void @main (ui18 %p) seq { }
+|}
+    "does not match memory"
+
+let test_port_no_param () =
+  has_error_matching
+    {|
+%m = memobj global ui18 size 8
+%s = stream istream %m pattern cont
+@main.ghost = addrspace(1) ui18 !istream !cont !0 !s
+define void @main (ui18 %p) seq { }
+|}
+    "no parameter"
+
+let test_duplicate_names () =
+  has_error_matching
+    {|
+%m = memobj global ui18 size 8
+%m = memobj global ui18 size 9
+define void @main () seq { }
+|}
+    "duplicate";
+  has_error_matching
+    {|
+define void @f (ui18 %x) pipe { }
+define void @f (ui18 %x) pipe { }
+define void @main () seq { }
+|}
+    "duplicate"
+
+let test_reduction_to_undeclared_global () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  @acc = add ui18 %x, @acc
+}
+|}
+    "global"
+
+let test_select_condition_bool () =
+  has_error_matching
+    {|
+define void @main (ui18 %x) seq {
+  %y = select ui18 %x, %x, %x
+}
+|}
+    "type";
+  (* and the well-typed version passes *)
+  Alcotest.(check int) "bool condition ok" 0
+    (List.length
+       (errors
+          {|
+define void @main (ui18 %x) seq {
+  %c = cmplt ui18 %x, 5
+  %y = select ui18 %c, %x, %x
+}
+|}))
+
+let test_check_exn () =
+  (match Validate.check_exn (parse valid_base) with
+  | _ -> ());
+  match Validate.check_exn (parse "define void @f (ui18 %x) pipe { }") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "check_exn should raise on invalid design"
+
+let suite =
+  [
+    Alcotest.test_case "valid design passes" `Quick test_valid;
+    Alcotest.test_case "SSA reassignment" `Quick test_ssa_reassign;
+    Alcotest.test_case "use before def" `Quick test_use_before_def;
+    Alcotest.test_case "param shadow" `Quick test_param_shadow_is_reassign;
+    Alcotest.test_case "operand type mismatch" `Quick test_type_mismatch;
+    Alcotest.test_case "immediate out of range" `Quick test_imm_out_of_range;
+    Alcotest.test_case "float imm at int type" `Quick test_float_imm_at_int;
+    Alcotest.test_case "bitwise on float" `Quick test_bitwise_on_float;
+    Alcotest.test_case "call to undefined" `Quick test_call_undefined;
+    Alcotest.test_case "call kind mismatch" `Quick test_call_kind_mismatch;
+    Alcotest.test_case "call arity" `Quick test_call_arity;
+    Alcotest.test_case "recursion rejected" `Quick test_recursion_rejected;
+    Alcotest.test_case "par body only calls" `Quick test_par_body_shape;
+    Alcotest.test_case "comb body combinational" `Quick test_comb_body_shape;
+    Alcotest.test_case "offset needs stream param" `Quick
+      test_offset_of_nonparam;
+    Alcotest.test_case "missing @main" `Quick test_no_main;
+    Alcotest.test_case "stream -> unknown mem" `Quick test_stream_unknown_mem;
+    Alcotest.test_case "port -> unknown stream" `Quick test_port_unknown_stream;
+    Alcotest.test_case "port direction conflict" `Quick test_port_dir_conflict;
+    Alcotest.test_case "port type conflict" `Quick test_port_type_conflict;
+    Alcotest.test_case "port without parameter" `Quick test_port_no_param;
+    Alcotest.test_case "duplicate names" `Quick test_duplicate_names;
+    Alcotest.test_case "undeclared global reduction" `Quick
+      test_reduction_to_undeclared_global;
+    Alcotest.test_case "select condition must be bool" `Quick
+      test_select_condition_bool;
+    Alcotest.test_case "check_exn" `Quick test_check_exn;
+  ]
