@@ -716,18 +716,53 @@ let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("a1", a1); ("a2", a2); ("a3", a3);
             ("a4", a4); ("a5", a5); ("a6", a6) ]
 
+(* Telemetry options: --json FILE writes a machine-readable per-phase
+   report (spans + metrics), --trace FILE writes a Chrome-trace timeline
+   viewable in chrome://tracing or Perfetto. Each experiment runs under a
+   "bench.<name>" root span, so the per-phase summary attributes wall
+   time to E1..E7 and their inner compile/cost/sim phases. *)
+
+let parse_args args =
+  let json = ref None and trace = ref None and rest = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: path :: tl -> json := Some path; go tl
+    | "--trace" :: path :: tl -> trace := Some path; go tl
+    | a :: tl -> rest := a :: !rest; go tl
+  in
+  go args;
+  (!json, !trace, List.rev !rest)
+
+let run_experiment name f =
+  Tytra_telemetry.Span.with_ ~name:("bench." ^ name) f
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let json, trace, args = parse_args (List.tl (Array.to_list Sys.argv)) in
+  if json <> None || trace <> None then begin
+    Tytra_telemetry.Control.set_enabled true;
+    at_exit (fun () ->
+        Option.iter
+          (fun path ->
+            Tytra_telemetry.Export.write_report path;
+            Format.eprintf "telemetry report written to %s@." path)
+          json;
+        Option.iter
+          (fun path ->
+            Tytra_telemetry.Export.write_chrome_trace ~process_name:"bench"
+              path;
+            Format.eprintf "chrome trace written to %s@." path)
+          trace)
+  end;
   Format.printf
     "TyTra cost-model reproduction - experiment harness (see DESIGN.md §4)@.";
   match args with
-  | [] -> List.iter (fun (_, f) -> f ()) all
+  | [] -> List.iter (fun (name, f) -> run_experiment name f) all
   | args ->
       List.iter
         (fun a ->
           match List.assoc_opt a all with
-          | Some f -> f ()
-          | None when a = "speed" -> speed ()
+          | Some f -> run_experiment a f
+          | None when a = "speed" -> run_experiment "speed" speed
           | None ->
               Format.printf "unknown experiment %S (known: %s, speed)@." a
                 (String.concat ", " (List.map fst all)))

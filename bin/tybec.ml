@@ -15,6 +15,110 @@
 
 open Cmdliner
 
+(* ---- observability: Logs reporter + telemetry flags ---- *)
+
+(* A plain reporter on stderr with elapsed-time stamps and the source
+   name: "[+0.012s] tytra.dse: [INFO] explored 16 variants". *)
+let log_reporter ppf =
+  let t0 = Unix.gettimeofday () in
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf @@ fun ?header ?tags fmt ->
+    ignore tags;
+    let label =
+      match header with
+      | Some h -> h
+      | None -> String.uppercase_ascii (Logs.level_to_string (Some level))
+    in
+    Format.kfprintf k ppf
+      ("[+%.3fs] %s: [%s] @[" ^^ fmt ^^ "@]@.")
+      (Unix.gettimeofday () -. t0)
+      (Logs.Src.name src) label
+  in
+  { Logs.report }
+
+let setup_observability trace metrics verbose level =
+  let level =
+    match level with
+    | Some l -> l
+    | None -> (
+        match List.length verbose with
+        | 0 -> Some Logs.Warning
+        | 1 -> Some Logs.Info
+        | _ -> Some Logs.Debug)
+  in
+  Logs.set_level level;
+  Logs.set_reporter (log_reporter Format.err_formatter);
+  if trace <> None || metrics then Tytra_telemetry.Control.set_enabled true;
+  at_exit (fun () ->
+      (match trace with
+      | Some path -> (
+          match
+            Tytra_telemetry.Export.write_chrome_trace ~process_name:"tybec"
+              path
+          with
+          | () -> Logs.info (fun m -> m "wrote Chrome trace to %s" path)
+          | exception Sys_error e ->
+              Logs.err (fun m -> m "cannot write trace: %s" e))
+      | None -> ());
+      if metrics then
+        Format.printf
+          "@.=== telemetry: per-phase summary ===@.%a@.=== telemetry: \
+           metrics ===@.%a"
+          Tytra_telemetry.Export.pp_summary ()
+          Tytra_telemetry.Metrics.pp_text ())
+
+let observability_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.json"
+          ~doc:
+            "Write a Chrome trace_event JSON of this run to $(docv); open \
+             it in chrome://tracing or https://ui.perfetto.dev.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the per-phase span summary (count, total, mean, p95) \
+             and the metric registry on exit.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag_all
+      & info [ "v"; "verbose" ]
+          ~doc:"Increase log verbosity ($(b,-v): info, $(b,-vv): debug).")
+  in
+  let level_arg =
+    let conv_level =
+      let parse s =
+        match Logs.level_of_string s with
+        | Ok l -> Ok l
+        | Error (`Msg m) -> Error (`Msg m)
+      in
+      let print fmt l = Format.pp_print_string fmt (Logs.level_to_string l) in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some conv_level) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Log level: $(b,debug), $(b,info), $(b,warning), $(b,error), \
+                $(b,app) or $(b,quiet). Overrides $(b,-v).")
+  in
+  Term.(
+    const setup_observability $ trace_arg $ metrics_arg $ verbose_arg
+    $ level_arg)
+
+(* Root span of one tybec subcommand. *)
+let traced name f = Tytra_telemetry.Span.with_ ~name:("tybec." ^ name) f
+
 let read_design path =
   match Tytra_ir.Parser.parse_file path with
   | d -> (
@@ -90,7 +194,7 @@ let optimize_arg =
 let maybe_optimize opt d =
   if opt then begin
     let d', st = Tytra_ir.Optim.run d in
-    Format.eprintf "optimizer: %a@." Tytra_ir.Optim.pp_stats st;
+    Logs.info (fun m -> m "optimizer: %a" Tytra_ir.Optim.pp_stats st);
     d'
   end
   else d
@@ -104,7 +208,8 @@ let exit_of = function
 (* ---- check ---- *)
 
 let check_cmd =
-  let run file =
+  let run () file =
+    traced "check" @@ fun () ->
     exit_of
       (Result.map
          (fun d ->
@@ -118,12 +223,13 @@ let check_cmd =
          (read_design file))
   in
   Cmd.v (Cmd.info "check" ~doc:"Parse and validate a .tirl design")
-    Term.(const run $ file_arg)
+    Term.(const run $ observability_term $ file_arg)
 
 (* ---- cost ---- *)
 
 let cost_cmd =
-  let run file device form nki opt calib_file =
+  let run () file device form nki opt calib_file =
+    traced "cost" @@ fun () ->
     exit_of
       (Result.bind (read_design file) (fun d ->
            Result.bind
@@ -136,6 +242,7 @@ let cost_cmd =
                let r =
                  Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d
                in
+               traced "report" @@ fun () ->
                Format.printf "%a@." Tytra_cost.Report.pp r;
                Format.printf "form selection:@.%a@." Tytra_cost.Formsel.pp
                  (Tytra_cost.Formsel.recommend ~device ?calib ~nki d);
@@ -145,8 +252,8 @@ let cost_cmd =
   in
   Cmd.v
     (Cmd.info "cost" ~doc:"Run the analytic cost model (fast estimates)")
-    Term.(const run $ file_arg $ device_arg $ form_arg $ nki_arg
-          $ optimize_arg $ calib_arg)
+    Term.(const run $ observability_term $ file_arg $ device_arg $ form_arg
+          $ nki_arg $ optimize_arg $ calib_arg)
 
 (* ---- synth ---- *)
 
@@ -158,7 +265,8 @@ let synth_cmd =
           `Normal
       & info [ "effort" ] ~doc:"Placement effort.")
   in
-  let run file device effort opt =
+  let run () file device effort opt =
+    traced "synth" @@ fun () ->
     exit_of
       (Result.map
          (fun d ->
@@ -173,12 +281,14 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Run the detailed technology mapper (slow, synthesis-grade)")
-    Term.(const run $ file_arg $ device_arg $ effort_arg $ optimize_arg)
+    Term.(const run $ observability_term $ file_arg $ device_arg $ effort_arg
+          $ optimize_arg)
 
 (* ---- sim ---- *)
 
 let sim_cmd =
-  let run file device form nki opt =
+  let run () file device form nki opt =
+    traced "sim" @@ fun () ->
     let sform =
       match form with
       | Tytra_cost.Throughput.FormA -> Tytra_sim.Cyclesim.A
@@ -195,7 +305,8 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Cycle-level simulation on the platform model")
-    Term.(const run $ file_arg $ device_arg $ form_arg $ nki_arg $ optimize_arg)
+    Term.(const run $ observability_term $ file_arg $ device_arg $ form_arg
+          $ nki_arg $ optimize_arg)
 
 (* ---- hdl ---- *)
 
@@ -205,7 +316,8 @@ let hdl_cmd =
       value & opt string "."
       & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run file dir opt =
+  let run () file dir opt =
+    traced "hdl" @@ fun () ->
     exit_of
       (Result.map
          (fun d ->
@@ -223,7 +335,7 @@ let hdl_cmd =
   in
   Cmd.v
     (Cmd.info "hdl" ~doc:"Emit Verilog, config include and MaxJ wrapper")
-    Term.(const run $ file_arg $ out_arg $ optimize_arg)
+    Term.(const run $ observability_term $ file_arg $ out_arg $ optimize_arg)
 
 (* ---- explore ---- *)
 
@@ -244,7 +356,8 @@ let explore_cmd =
   let lanes_arg =
     Arg.(value & opt int 16 & info [ "max-lanes" ] ~doc:"Maximum lane count.")
   in
-  let run kernel size lanes device form nki =
+  let run () kernel size lanes device form nki =
+    traced "explore" @@ fun () ->
     let prog =
       match kernel with
       | `Sor -> Tytra_kernels.Sor.program ~im:size ~jm:size ~km:size ()
@@ -253,7 +366,11 @@ let explore_cmd =
       | `Srad -> Tytra_kernels.Srad.program ~rows:size ~cols:size ()
     in
     let pts = Tytra_dse.Dse.explore ~device ~form ~nki ~max_lanes:lanes prog in
+    let front = Tytra_dse.Dse.pareto pts in
+    traced "report" @@ fun () ->
     List.iter (fun p -> Format.printf "%a@." Tytra_dse.Dse.pp_point p) pts;
+    Format.printf "pareto front: %d of %d points@." (List.length front)
+      (List.length pts);
     (match Tytra_dse.Dse.best pts with
     | Some b ->
         Format.printf "selected: %s@."
@@ -264,8 +381,8 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc:"Design-space exploration over a built-in kernel")
     Term.(
-      const run $ kernel_arg $ size_arg $ lanes_arg $ device_arg $ form_arg
-      $ nki_arg)
+      const run $ observability_term $ kernel_arg $ size_arg $ lanes_arg
+      $ device_arg $ form_arg $ nki_arg)
 
 (* ---- bw ---- *)
 
@@ -277,7 +394,8 @@ let bw_cmd =
       & info [ "save" ] ~docv:"FILE"
           ~doc:"Save the sweep as a calibration file for 'tybec cost --calib'.")
   in
-  let run device save =
+  let run () device save =
+    traced "bw" @@ fun () ->
     let ms = Tytra_streambench.Streambench.sweep device in
     Format.printf " side       bytes        pattern     sustained@.";
     List.iter
@@ -293,7 +411,7 @@ let bw_cmd =
   in
   Cmd.v
     (Cmd.info "bw" ~doc:"Sustained-bandwidth benchmark (paper Fig 10)")
-    Term.(const run $ device_arg $ save_arg)
+    Term.(const run $ observability_term $ device_arg $ save_arg)
 
 
 
@@ -310,7 +428,8 @@ let tb_cmd =
       value & opt string "tb"
       & info [ "seed" ] ~docv:"SEED" ~doc:"Stimulus generator seed.")
   in
-  let run file dir seed =
+  let run () file dir seed =
+    traced "testbench" @@ fun () ->
     exit_of
       (Result.bind (read_design file) (fun d ->
            (* random stimulus for every IStream port *)
@@ -349,7 +468,7 @@ let tb_cmd =
   Cmd.v
     (Cmd.info "testbench"
        ~doc:"Emit Verilog plus a self-checking testbench with golden vectors")
-    Term.(const run $ file_arg $ out_arg $ seed_arg)
+    Term.(const run $ observability_term $ file_arg $ out_arg $ seed_arg)
 
 (* ---- import (legacy front ends) ---- *)
 
@@ -388,7 +507,8 @@ let import_cmd =
       & info [ "o"; "output" ] ~docv:"FILE.tirl"
           ~doc:"Write the lowered TyTra-IR here (default: stdout).")
   in
-  let run src sizes lanes ty out =
+  let run () src sizes lanes ty out =
+    traced "import" @@ fun () ->
     let result =
       try
         let prog =
@@ -424,7 +544,9 @@ let import_cmd =
   Cmd.v
     (Cmd.info "import"
        ~doc:"Import a legacy Fortran/C loop nest and lower it to TyTra-IR")
-    Term.(const run $ src_arg $ sizes_arg $ lanes_opt $ ty_arg $ out_arg)
+    Term.(
+      const run $ observability_term $ src_arg $ sizes_arg $ lanes_opt $ ty_arg
+      $ out_arg)
 
 let main_cmd =
   Cmd.group

@@ -19,14 +19,27 @@ type t = {
     speed claim (§VI-A) is about. *)
 let evaluate ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
     ?(form = Throughput.FormB) ?(nki = 1) (d : Tytra_ir.Ast.design) : t =
+  Tytra_telemetry.Span.with_ ~name:"cost.evaluate"
+    ~attrs:
+      [ ("design", Tytra_telemetry.Span.Str d.Tytra_ir.Ast.d_name);
+        ("device", Tytra_telemetry.Span.Str device.Tytra_device.Device.dev_name);
+        ("form", Tytra_telemetry.Span.Str (Throughput.form_to_string form));
+        ("nki", Tytra_telemetry.Span.Int nki) ]
+  @@ fun () ->
+  Tytra_telemetry.Metrics.incr "cost.evaluations";
   let est = Resource_model.estimate ~device d in
-  let inputs =
-    Throughput.inputs_of_design ~device ?calib ~nki
-      ~fmax_mhz:est.Resource_model.est_fmax_mhz d
+  let inputs, breakdown =
+    Tytra_telemetry.Span.with_ ~name:"cost.throughput" (fun () ->
+        let inputs =
+          Throughput.inputs_of_design ~device ?calib ~nki
+            ~fmax_mhz:est.Resource_model.est_fmax_mhz d
+        in
+        (inputs, Throughput.ekit form inputs))
   in
-  let breakdown = Throughput.ekit form inputs in
-  let walls = Limits.walls ~device ~est ~inputs in
-  let balance = Limits.balance_hint ~device ~est in
+  let walls, balance =
+    Tytra_telemetry.Span.with_ ~name:"cost.limits" (fun () ->
+        (Limits.walls ~device ~est ~inputs, Limits.balance_hint ~device ~est))
+  in
   {
     rp_design = d.Tytra_ir.Ast.d_name;
     rp_device = device.Tytra_device.Device.dev_name;

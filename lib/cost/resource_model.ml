@@ -178,6 +178,11 @@ let pe_usage ?(cal = default_calibration) (d : Ast.design) (f : Ast.func) :
     estimate. *)
 let estimate ?(device = Tytra_device.Device.stratixv_gsd8)
     ?(cal = default_calibration) (d : Ast.design) : estimate =
+  Tytra_telemetry.Span.with_ ~name:"cost.resource_model"
+    ~attrs:
+      [ ("design", Tytra_telemetry.Span.Str d.Ast.d_name);
+        ("device", Tytra_telemetry.Span.Str device.Tytra_device.Device.dev_name) ]
+  @@ fun () ->
   let summary = Config_tree.classify d in
   let pes = List.filter_map (Ast.find_func d) summary.Config_tree.cs_pes in
   let pe_usages = List.map (pe_usage ~cal d) pes in

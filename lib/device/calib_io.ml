@@ -17,6 +17,8 @@
 
 let magic = "# tytra bandwidth calibration v1"
 
+module Log = (val Logs.src_log (Logs.Src.create "tytra.calib"))
+
 (** [save path calib] — write [calib] to [path]. *)
 let save (path : string) (c : Bandwidth.calib) : unit =
   let oc = open_out path in
@@ -90,9 +92,15 @@ let load (path : string) : (Bandwidth.calib, string) result =
              done
            with End_of_file -> ());
           match !err with
-          | Some e -> Error e
+          | Some e ->
+              Log.warn (fun m -> m "%s: %s" path e);
+              Error e
           | None ->
-              if !cont = [] then Error "calibration has no contiguous points"
+              if !cont = [] then begin
+                Log.warn (fun m ->
+                    m "%s: calibration has no contiguous points" path);
+                Error "calibration has no contiguous points"
+              end
               else
                 Ok
                   (Bandwidth.make ~device:!device ~cont:(List.rev !cont)

@@ -5,6 +5,8 @@
 
 open Tytra_front
 
+module Log = (val Logs.src_log (Logs.Src.create "tytra.dse"))
+
 (** One evaluated design point. *)
 type point = {
   dp_variant : Transform.variant;
@@ -20,14 +22,42 @@ let valid (p : point) = p.dp_report.Tytra_cost.Report.rp_valid
     and run the full cost model on each. This is the fast evaluation loop
     whose per-variant latency the paper benchmarks at ~0.3 s (we measure
     it in experiment E5). *)
+(* Evaluate one variant under a per-point span: lane count, form and the
+   resulting EKIT become trace attributes, so a sweep reads as a row of
+   "dse.point" slices in Perfetto. *)
+let eval_point ~device ?calib ~form ~nki prog v =
+  Tytra_telemetry.Span.with_ ~name:"dse.point"
+    ~attrs:
+      [ ("variant", Tytra_telemetry.Span.Str (Transform.to_string v));
+        ("pes", Tytra_telemetry.Span.Int (Transform.pes v));
+        ("form",
+         Tytra_telemetry.Span.Str (Tytra_cost.Throughput.form_to_string form));
+      ]
+  @@ fun () ->
+  let d = Lower.lower prog v in
+  let report = Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d in
+  let p = { dp_variant = v; dp_design = d; dp_report = report } in
+  Tytra_telemetry.Metrics.incr "dse.points_evaluated";
+  Tytra_telemetry.Metrics.observe "dse.point.ekit" (ekit p);
+  p
+
 let explore ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
     ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16)
     ?(max_vec = 1) (prog : Expr.program) : point list =
-  Transform.enumerate ~max_lanes ~max_vec prog
-  |> List.map (fun v ->
-      let d = Lower.lower prog v in
-      let report = Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d in
-      { dp_variant = v; dp_design = d; dp_report = report })
+  Tytra_telemetry.Span.with_ ~name:"dse.explore"
+    ~attrs:
+      [ ("kernel", Tytra_telemetry.Span.Str prog.Expr.p_kernel.Expr.k_name);
+        ("max_lanes", Tytra_telemetry.Span.Int max_lanes);
+        ("max_vec", Tytra_telemetry.Span.Int max_vec) ]
+  @@ fun () ->
+  let pts =
+    Transform.enumerate ~max_lanes ~max_vec prog
+    |> List.map (eval_point ~device ?calib ~form ~nki prog)
+  in
+  Log.info (fun m ->
+      m "explored %d variants of %s (max_lanes %d)" (List.length pts)
+        prog.Expr.p_kernel.Expr.k_name max_lanes);
+  pts
 
 (** [best points] — the highest-EKIT variant among those that fit the
     device (the automated selection of Fig 1's "Selected Variant-X"). *)
@@ -49,17 +79,22 @@ let pareto (points : point list) : point list =
       .Tytra_device.Resources.aluts
   in
   let valid_pts = List.filter valid points in
-  List.filter
-    (fun p ->
-      not
-        (List.exists
-           (fun q ->
-             q != p
-             && ekit q >= ekit p
-             && area q <= area p
-             && (ekit q > ekit p || area q < area p))
-           valid_pts))
-    valid_pts
+  let front =
+    List.filter
+      (fun p ->
+        not
+          (List.exists
+             (fun q ->
+               q != p
+               && ekit q >= ekit p
+               && area q <= area p
+               && (ekit q > ekit p || area q < area p))
+             valid_pts))
+      valid_pts
+  in
+  Tytra_telemetry.Metrics.set "dse.pareto_front_size"
+    (float_of_int (List.length front));
+  front
 
 (** Guided search (the "targeted optimization" of paper §I): follow the
     limiting parameter. Starting from the baseline pipe, double lanes
@@ -69,11 +104,12 @@ let pareto (points : point list) : point list =
 let guided ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
     ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 64)
     (prog : Expr.program) : point list =
-  let eval v =
-    let d = Lower.lower prog v in
-    let report = Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d in
-    { dp_variant = v; dp_design = d; dp_report = report }
-  in
+  Tytra_telemetry.Span.with_ ~name:"dse.guided"
+    ~attrs:
+      [ ("kernel", Tytra_telemetry.Span.Str prog.Expr.p_kernel.Expr.k_name);
+        ("max_lanes", Tytra_telemetry.Span.Int max_lanes) ]
+  @@ fun () ->
+  let eval = eval_point ~device ?calib ~form ~nki prog in
   let applicable l = Transform.applicable prog (Transform.ParPipe l) in
   let rec go acc lanes =
     let v = if lanes = 1 then Transform.Pipe else Transform.ParPipe lanes in
@@ -103,7 +139,12 @@ let explore_devices ?(devices = Tytra_device.Device.all)
     * (Tytra_device.Device.t * point) option =
   let per_device =
     List.map
-      (fun device -> (device, explore ~device ~form ~nki ~max_lanes prog))
+      (fun device ->
+        Tytra_telemetry.Span.with_ ~name:"dse.device"
+          ~attrs:
+            [ ("device",
+               Tytra_telemetry.Span.Str device.Tytra_device.Device.dev_name) ]
+          (fun () -> (device, explore ~device ~form ~nki ~max_lanes prog)))
       devices
   in
   let best_overall =

@@ -183,6 +183,9 @@ let nwpt (d : design) : (int * int) =
 
 (** [params d] — all IR-derived Table I parameters for design [d]. *)
 let params (d : design) : params =
+  Tytra_telemetry.Span.with_ ~name:"ir.analysis"
+    ~attrs:[ ("design", Tytra_telemetry.Span.Str d.d_name) ]
+  @@ fun () ->
   let summary = Config_tree.classify d in
   let pes = summary.cs_pes in
   let pe_funcs = List.map (find_func_exn d) pes in

@@ -345,6 +345,9 @@ let propagate_const_args (d : design) : design * int =
 (** [run ?interprocedural d] — optimize every function of [d]. Manage-IR
     is untouched; the result still validates. *)
 let run ?(interprocedural = true) (d : design) : design * stats =
+  Tytra_telemetry.Span.with_ ~name:"ir.optim"
+    ~attrs:[ ("design", Tytra_telemetry.Span.Str d.d_name) ]
+  @@ fun () ->
   let d, cargs =
     if interprocedural then propagate_const_args d else (d, 0)
   in

@@ -309,6 +309,11 @@ let parse_fundef lx : Ast.func =
 (** [parse ~name src] parses a complete design from [src]. Raises
     {!Parse_error} (and {!Lexer.Lex_error}) on malformed input. *)
 let parse ?(name = "design") (src : string) : Ast.design =
+  Tytra_telemetry.Span.with_ ~name:"ir.parse"
+    ~attrs:
+      [ ("design", Tytra_telemetry.Span.Str name);
+        ("bytes", Tytra_telemetry.Span.Int (String.length src)) ]
+  @@ fun () ->
   let lx = Lexer.of_string src in
   let d = ref (Ast.empty_design name) in
   let add_mem m = d := { !d with Ast.d_mems = !d.Ast.d_mems @ [ m ] } in

@@ -272,6 +272,9 @@ let check_manage errs (d : design) =
 (** [check d] validates [d], returning all errors found (empty on
     success). *)
 let check (d : design) : error list =
+  Tytra_telemetry.Span.with_ ~name:"ir.validate"
+    ~attrs:[ ("design", Tytra_telemetry.Span.Str d.d_name) ]
+  @@ fun () ->
   let errs = ref [] in
   dup_names errs "design" "function" (List.map (fun f -> f.fn_name) d.d_funcs);
   check_manage errs d;

@@ -260,6 +260,14 @@ let run_instance ~(device : Tytra_device.Device.t) ~(fd_hz : float)
     base clock; pass the tech-mapper's figure for closed-timing results. *)
 let run ?(device = Tytra_device.Device.stratixv_gsd8) ?fmax_mhz ?(form = B)
     ?(nki = 1) (d : Ast.design) : result =
+  Tytra_telemetry.Span.with_ ~name:"sim.cyclesim"
+    ~attrs:
+      [ ("design", Tytra_telemetry.Span.Str d.Ast.d_name);
+        ("device", Tytra_telemetry.Span.Str device.Tytra_device.Device.dev_name);
+        ("form", Tytra_telemetry.Span.Str (form_to_string form));
+        ("nki", Tytra_telemetry.Span.Int nki) ]
+  @@ fun () ->
+  Tytra_telemetry.Metrics.incr "sim.cyclesim.runs";
   let params = Analysis.params d in
   let fmax =
     match fmax_mhz with
@@ -299,6 +307,7 @@ let run ?(device = Tytra_device.Device.stratixv_gsd8) ?fmax_mhz ?(form = B)
       in
       let t_ki = (cycles /. fd_hz) +. launch in
       let total = host_one +. (float_of_int nki *. t_ki) in
+      Tytra_telemetry.Metrics.observe "sim.cyclesim.cycles" cycles;
       {
         r_form = C;
         r_fmax_mhz = fmax;
@@ -319,8 +328,19 @@ let run ?(device = Tytra_device.Device.stratixv_gsd8) ?fmax_mhz ?(form = B)
   | A | B ->
       let streams = make_streams device d in
       let cycles, stalls, dram =
-        run_instance ~device ~fd_hz ~params streams
+        Tytra_telemetry.Span.with_ ~name:"sim.cyclesim.instance" (fun () ->
+            run_instance ~device ~fd_hz ~params streams)
       in
+      Tytra_telemetry.Metrics.observe "sim.cyclesim.cycles" cycles;
+      Tytra_telemetry.Metrics.observe "sim.cyclesim.stall_cycles" stalls;
+      Tytra_telemetry.Metrics.add "sim.dram.requests"
+        (float_of_int dram.Dram.requests);
+      Tytra_telemetry.Metrics.add "sim.dram.row_misses"
+        (float_of_int dram.Dram.row_misses);
+      Tytra_telemetry.Metrics.add "sim.dram.row_hits"
+        (float_of_int (Dram.row_hits dram));
+      Tytra_telemetry.Metrics.add "sim.dram.bytes_moved"
+        (Int64.to_float dram.Dram.bytes_moved);
       let t_ki = (cycles /. fd_hz) +. launch in
       let host_total =
         match form with

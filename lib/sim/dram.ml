@@ -79,6 +79,10 @@ let service_s (t : t) ~addr ~bytes ~merged : float =
   float_of_int (service_cycles t ~addr ~bytes ~merged)
   /. t.cfg.Tytra_device.Device.dram_clock_hz
 
+(** Requests that hit an already-open row (the complement of
+    [row_misses] — the locality the merged streaming path lives off). *)
+let row_hits (t : t) : int = t.requests - t.row_misses
+
 (** Achieved bandwidth over everything served so far, bytes/s. *)
 let achieved_bps (t : t) : float =
   if Int64.equal t.busy_cycles 0L then 0.0

@@ -5,11 +5,14 @@
     protocol-efficiency-derated peak. *)
 let transfer_s (link : Tytra_device.Device.link_cfg) ~(bytes : int) : float =
   if bytes <= 0 then 0.0
-  else
+  else begin
+    Tytra_telemetry.Metrics.incr "sim.host.transfers";
+    Tytra_telemetry.Metrics.add "sim.host.bytes" (float_of_int bytes);
     link.Tytra_device.Device.link_latency_s
     +. (float_of_int bytes
         /. (link.Tytra_device.Device.link_peak_bps
             *. link.Tytra_device.Device.link_eff))
+  end
 
 (** Effective bandwidth of a transfer of [bytes], bytes/s. *)
 let effective_bps (link : Tytra_device.Device.link_cfg) ~(bytes : int) : float

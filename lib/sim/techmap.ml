@@ -16,6 +16,8 @@
 
 open Tytra_ir
 
+module Log = (val Logs.src_log (Logs.Src.create "tytra.techmap"))
+
 (* ------------------------------------------------------------------ *)
 (* Primitive elaboration rules (ALUT / DSP / reg cells per operation)  *)
 (* ------------------------------------------------------------------ *)
@@ -161,6 +163,7 @@ type placement_result = {
   pl_avg_wire : float;    (** mean Manhattan edge length after annealing *)
   pl_grid : int;
   pl_moves : int;
+  pl_accepted : int;      (** accepted swaps (uphill included) *)
 }
 
 (** [place ~rng ~effort nl] runs a swap-based annealer on a √n grid. The
@@ -189,6 +192,7 @@ let place ~(rng : Prng.t) ~(effort : int) (nl : netlist) : placement_result =
   Array.iter (fun e -> total := !total + edge_len e) nl.n_edges;
   let moves = effort * n in
   let temp0 = 4.0 +. (float_of_int grid /. 4.0) in
+  let accepted = ref 0 in
   for m = 0 to moves - 1 do
     let a = Prng.int rng n and b = Prng.int rng n in
     if a <> b then begin
@@ -206,18 +210,32 @@ let place ~(rng : Prng.t) ~(effort : int) (nl : netlist) : placement_result =
         dc <= 0
         || (t > 0.01 && Prng.float rng < exp (-.float_of_int dc /. t))
       in
-      if accept then total := !total + dc
+      if accept then begin
+        total := !total + dc;
+        incr accepted
+      end
       else begin
         pos.(a) <- pa;
         pos.(b) <- pb
       end
     end
   done;
+  (* anneal accounting: aggregates published once per run, never
+     per-iteration, so the hot loop carries no telemetry overhead *)
+  Tytra_telemetry.Metrics.add "sim.techmap.anneal.moves" (float_of_int moves);
+  Tytra_telemetry.Metrics.add "sim.techmap.anneal.accepted"
+    (float_of_int !accepted);
+  Tytra_telemetry.Metrics.observe "sim.techmap.anneal.acceptance_rate"
+    (float_of_int !accepted /. float_of_int (max 1 moves));
+  Tytra_telemetry.Metrics.set "sim.techmap.anneal.temp_start" temp0;
+  Tytra_telemetry.Metrics.set "sim.techmap.anneal.temp_final"
+    (temp0 /. float_of_int (max 1 moves));
   let nedges = max 1 (Array.length nl.n_edges) in
   {
     pl_avg_wire = float_of_int !total /. float_of_int nedges;
     pl_grid = grid;
     pl_moves = moves;
+    pl_accepted = !accepted;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -276,6 +294,13 @@ let effort_passes = function `Fast -> 4 | `Normal -> 40 | `Full -> 220
     compare with the sub-millisecond analytic estimator. *)
 let run ?(device = Tytra_device.Device.stratixv_gsd8) ?(effort = `Normal)
     (d : Ast.design) : report =
+  Tytra_telemetry.Span.with_ ~name:"sim.techmap"
+    ~attrs:
+      [ ("design", Tytra_telemetry.Span.Str d.Ast.d_name);
+        ("device", Tytra_telemetry.Span.Str device.Tytra_device.Device.dev_name);
+        ("effort", Tytra_telemetry.Span.Int (effort_passes effort)) ]
+  @@ fun () ->
+  Tytra_telemetry.Metrics.incr "sim.techmap.runs";
   let summary = Config_tree.classify d in
   let pe_names = summary.Config_tree.cs_pes in
   let pes = List.filter_map (Ast.find_func d) pe_names in
@@ -359,8 +384,18 @@ let run ?(device = Tytra_device.Device.stratixv_gsd8) ?(effort = `Normal)
     }
   in
   (* --- placement and timing closure --- *)
-  let nl = build_netlist d pes in
-  let pl = place ~rng ~effort:(effort_passes effort) nl in
+  let nl =
+    Tytra_telemetry.Span.with_ ~name:"sim.techmap.elaborate"
+      (fun () -> build_netlist d pes)
+  in
+  let pl =
+    Tytra_telemetry.Span.with_ ~name:"sim.techmap.place"
+      ~attrs:[ ("cells", Tytra_telemetry.Span.Int nl.n_cells) ]
+      (fun () -> place ~rng ~effort:(effort_passes effort) nl)
+  in
+  Log.debug (fun m ->
+      m "placed %s: %d cells, %d/%d swaps accepted, avg wire %.2f"
+        d.Ast.d_name nl.n_cells pl.pl_accepted pl.pl_moves pl.pl_avg_wire);
   let util = Tytra_device.Resources.max_utilization device usage in
   let base = device.Tytra_device.Device.fmax_base_mhz in
   let congestion = pl.pl_avg_wire /. float_of_int (max 1 pl.pl_grid) in

@@ -1,0 +1,31 @@
+(** Time source for the telemetry layer.
+
+    The default source is the OS monotonic clock (CLOCK_MONOTONIC via the
+    bechamel stubs, nanosecond resolution, immune to wall-clock steps).
+    Tests inject a deterministic source with {!set_source} so span
+    durations and orderings are exactly reproducible. *)
+
+type source = unit -> int64
+(** A clock: returns a monotonically non-decreasing time in nanoseconds. *)
+
+let monotonic : source = Monotonic_clock.now
+
+let source = ref monotonic
+
+(** [set_source s] — replace the clock (tests; restore with
+    {!use_monotonic}). *)
+let set_source s = source := s
+
+let use_monotonic () = source := monotonic
+
+(** Current time in nanoseconds from the active source. *)
+let now_ns () : int64 = !source ()
+
+(** [counting ?start ?step ()] — a deterministic clock for tests: the
+    first reading is [start], each subsequent reading advances by
+    [step] nanoseconds. *)
+let counting ?(start = 0L) ?(step = 1000L) () : source =
+  let t = ref (Int64.sub start step) in
+  fun () ->
+    t := Int64.add !t step;
+    !t

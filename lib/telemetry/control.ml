@@ -1,0 +1,21 @@
+(** Master switch for the telemetry layer.
+
+    Every instrumentation site in the code base is gated on one mutable
+    boolean: when telemetry is disabled (the default), a span or metric
+    call is a single [if not !enabled] check and an immediate return —
+    no allocation, no clock read, no locking. This is what keeps the
+    instrumented estimator fast path (the paper's §VI-A speed claim,
+    experiment E5) unaffected when nobody is watching. *)
+
+let enabled = ref false
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+(** [with_enabled b f] — run [f ()] with the switch set to [b], restoring
+    the previous state afterwards (exception-safe). Used by tests and by
+    scoped instrumentation in the benchmark harness. *)
+let with_enabled b f =
+  let prev = !enabled in
+  enabled := b;
+  Fun.protect ~finally:(fun () -> enabled := prev) f

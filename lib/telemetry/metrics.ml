@@ -1,0 +1,268 @@
+(** Process-wide counters, gauges and histograms.
+
+    A single registry keyed by metric name. Like spans, every mutation is
+    gated on {!Control.enabled}: disabled calls cost one boolean check.
+    Hot loops (the techmap annealer, the cycle simulator) accumulate
+    locally and publish aggregates once per run, so even enabled
+    telemetry never adds per-iteration work on those paths.
+
+    Histograms keep exact samples up to a cap (for exact percentiles in
+    tests and small sweeps) and degrade to count/sum/min/max beyond it. *)
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_samples : float list;  (** newest first; capped *)
+  mutable h_kept : int;
+}
+
+type metric =
+  | Counter of float ref
+  | Gauge of float ref
+  | Histogram of histogram
+
+let max_samples = 65_536
+
+let mutex = Mutex.create ()
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset registry;
+  Mutex.unlock mutex
+
+let find_or_add name mk =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+      let m = mk () in
+      Hashtbl.replace registry name m;
+      m
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [incr ?by name] — add [by] (default 1) to counter [name]. *)
+let incr ?(by = 1) name =
+  if !Control.enabled then begin
+    Mutex.lock mutex;
+    (match find_or_add name (fun () -> Counter (ref 0.0)) with
+    | Counter c -> c := !c +. float_of_int by
+    | _ -> ());
+    Mutex.unlock mutex
+  end
+
+(** [add name x] — add float [x] to counter [name]. *)
+let add name x =
+  if !Control.enabled then begin
+    Mutex.lock mutex;
+    (match find_or_add name (fun () -> Counter (ref 0.0)) with
+    | Counter c -> c := !c +. x
+    | _ -> ());
+    Mutex.unlock mutex
+  end
+
+(** [set name x] — set gauge [name] to [x]. *)
+let set name x =
+  if !Control.enabled then begin
+    Mutex.lock mutex;
+    (match find_or_add name (fun () -> Gauge (ref 0.0)) with
+    | Gauge g -> g := x
+    | _ -> ());
+    Mutex.unlock mutex
+  end
+
+(** [observe name x] — record observation [x] into histogram [name]. *)
+let observe name x =
+  if !Control.enabled then begin
+    Mutex.lock mutex;
+    (match
+       find_or_add name (fun () ->
+           Histogram
+             {
+               h_count = 0;
+               h_sum = 0.0;
+               h_min = infinity;
+               h_max = neg_infinity;
+               h_samples = [];
+               h_kept = 0;
+             })
+     with
+    | Histogram h ->
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. x;
+        if x < h.h_min then h.h_min <- x;
+        if x > h.h_max then h.h_max <- x;
+        if h.h_kept < max_samples then begin
+          h.h_samples <- x :: h.h_samples;
+          h.h_kept <- h.h_kept + 1
+        end
+    | _ -> ());
+    Mutex.unlock mutex
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries (always available, independent of the enabled switch)       *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value name : float option =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some !c
+  | _ -> None
+
+let gauge_value name : float option =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> Some !g
+  | _ -> None
+
+type histogram_stats = {
+  hs_count : int;
+  hs_sum : float;
+  hs_mean : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p95 : float;
+}
+
+let percentile sorted n q =
+  if n = 0 then 0.0
+  else
+    let idx = min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1) in
+    List.nth sorted (max 0 idx)
+
+let histogram_stats name : histogram_stats option =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) ->
+      let sorted = List.sort compare h.h_samples in
+      let n = h.h_kept in
+      Some
+        {
+          hs_count = h.h_count;
+          hs_sum = h.h_sum;
+          hs_mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count);
+          hs_min = (if h.h_count = 0 then 0.0 else h.h_min);
+          hs_max = (if h.h_count = 0 then 0.0 else h.h_max);
+          hs_p50 = percentile sorted n 0.50;
+          hs_p95 = percentile sorted n 0.95;
+        }
+  | _ -> None
+
+(** All registered metric names, sorted. *)
+let names () : string list =
+  Mutex.lock mutex;
+  let l = Hashtbl.fold (fun k _ acc -> k :: acc) registry [] in
+  Mutex.unlock mutex;
+  List.sort compare l
+
+(* ------------------------------------------------------------------ *)
+(* Dumps                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* %.17g round-trips doubles; trim the common integral case for humans *)
+let pp_num fmt x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Format.fprintf fmt "%.0f" x
+  else Format.fprintf fmt "%.6g" x
+
+(** Plain-text dump of every registered metric, sorted by name. *)
+let pp_text fmt () =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) ->
+          Format.fprintf fmt "counter  %-42s %a@." name pp_num !c
+      | Some (Gauge g) ->
+          Format.fprintf fmt "gauge    %-42s %a@." name pp_num !g
+      | Some (Histogram _) -> (
+          match histogram_stats name with
+          | Some s ->
+              Format.fprintf fmt
+                "hist     %-42s count=%d mean=%a min=%a p50=%a p95=%a max=%a@."
+                name s.hs_count pp_num s.hs_mean pp_num s.hs_min pp_num
+                s.hs_p50 pp_num s.hs_p95 pp_num s.hs_max
+          | None -> ())
+      | None -> ())
+    (names ())
+
+let to_text () = Format.asprintf "%a" pp_text ()
+
+(** JSON string literal with proper escaping (OCaml's [%S] escapes
+    control characters as decimal [\ddd], which JSON rejects). *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_num x =
+  (* JSON has no infinities/NaN; clamp to null-safe strings *)
+  if Float.is_nan x then "0"
+  else if x = infinity then "1e308"
+  else if x = neg_infinity then "-1e308"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+(** JSON dump: {"counters":{..},"gauges":{..},"histograms":{..}}. *)
+let to_json () : string =
+  let b = Buffer.create 1024 in
+  let cats =
+    [
+      ("counters",
+       fun name -> match Hashtbl.find_opt registry name with
+         | Some (Counter c) -> Some (json_num !c)
+         | _ -> None);
+      ("gauges",
+       fun name -> match Hashtbl.find_opt registry name with
+         | Some (Gauge g) -> Some (json_num !g)
+         | _ -> None);
+      ("histograms",
+       fun name -> match Hashtbl.find_opt registry name with
+         | Some (Histogram _) -> (
+             match histogram_stats name with
+             | Some s ->
+                 Some
+                   (Printf.sprintf
+                      "{\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s}"
+                      s.hs_count (json_num s.hs_sum) (json_num s.hs_mean)
+                      (json_num s.hs_min) (json_num s.hs_max)
+                      (json_num s.hs_p50) (json_num s.hs_p95))
+             | None -> None)
+         | _ -> None);
+    ]
+  in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (cat, get) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":{" cat);
+      let first = ref true in
+      List.iter
+        (fun name ->
+          match get name with
+          | Some v ->
+              if not !first then Buffer.add_char b ',';
+              first := false;
+              Buffer.add_string b (json_string name ^ ":" ^ v)
+          | None -> ())
+        (names ());
+      Buffer.add_char b '}')
+    cats;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,151 @@
+(** Hierarchical timed spans.
+
+    A span measures one phase of the compile/cost/DSE flow. Spans nest:
+    [with_ ~name f] opens a span, runs [f], and records a completed event
+    when [f] returns (or raises — the event is recorded with an [error]
+    attribute and the exception re-raised). The recorded stream is the
+    *completion* order: children always appear before their parents, and
+    Chrome's trace viewer reconstructs the hierarchy from the (ts, dur)
+    containment on each thread lane.
+
+    Phase names are a stable public interface — see DESIGN.md §7 for the
+    taxonomy. Attribute payloads are small typed values rendered into the
+    Chrome-trace [args] object.
+
+    Overhead when disabled: one mutable-bool check, no allocation. *)
+
+(** Typed span attribute values. *)
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+let attr_to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.17g" f
+  | Bool b -> string_of_bool b
+
+(** One completed span. Times are nanoseconds from {!Clock}. *)
+type event = {
+  ev_name : string;
+  ev_ts_ns : int64;   (** start time *)
+  ev_dur_ns : int64;  (** duration (>= 0) *)
+  ev_depth : int;     (** nesting depth at open time; roots are 0 *)
+  ev_tid : int;       (** thread-of-execution (domain) id *)
+  ev_seq : int;       (** global completion sequence number *)
+  ev_attrs : (string * attr) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Recording state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mutex = Mutex.create ()
+
+(* completion-ordered, newest first; reversed on read *)
+let recorded : event list ref = ref []
+let n_recorded = ref 0
+let seq = ref 0
+let dropped = ref 0
+
+(* Retention cap: a long DSE sweep or anneal could otherwise grow the
+   buffer without bound. Past the cap, events are counted but not kept. *)
+let default_max_events = 1_000_000
+let max_events = ref default_max_events
+let set_max_events n = max_events := max 0 n
+
+(* open-span stack of the (single) instrumented thread of execution *)
+let stack : string list ref = ref []
+let depth = ref 0
+
+let reset () =
+  Mutex.lock mutex;
+  recorded := [];
+  n_recorded := 0;
+  seq := 0;
+  dropped := 0;
+  stack := [];
+  depth := 0;
+  Mutex.unlock mutex
+
+(** Completed events in completion order (children before parents). *)
+let events () : event list =
+  Mutex.lock mutex;
+  let l = List.rev !recorded in
+  Mutex.unlock mutex;
+  l
+
+let dropped_events () = !dropped
+
+(** Dotted path of currently open spans, outermost first (diagnostics). *)
+let current_path () : string list =
+  Mutex.lock mutex;
+  let p = List.rev !stack in
+  Mutex.unlock mutex;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* The span combinator                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let record ~name ~t0 ~t1 ~depth:d ~tid ~attrs =
+  Mutex.lock mutex;
+  let s = !seq in
+  seq := s + 1;
+  if !n_recorded < !max_events then begin
+    recorded :=
+      {
+        ev_name = name;
+        ev_ts_ns = t0;
+        ev_dur_ns = Int64.max 0L (Int64.sub t1 t0);
+        ev_depth = d;
+        ev_tid = tid;
+        ev_seq = s;
+        ev_attrs = attrs;
+      }
+      :: !recorded;
+    incr n_recorded
+  end
+  else incr dropped;
+  Mutex.unlock mutex
+
+(** [with_ ?attrs ~name f] — run [f ()] inside a span called [name].
+    Returns [f ()]'s value; re-raises its exceptions after recording the
+    span with an [error] attribute. When telemetry is disabled this is
+    exactly [f ()]. *)
+let with_ ?(attrs : (string * attr) list = []) ~name f =
+  if not !Control.enabled then f ()
+  else begin
+    let tid = (Domain.self () :> int) in
+    Mutex.lock mutex;
+    let d = !depth in
+    depth := d + 1;
+    stack := name :: !stack;
+    Mutex.unlock mutex;
+    let leave () =
+      Mutex.lock mutex;
+      depth := !depth - 1;
+      (match !stack with _ :: tl -> stack := tl | [] -> ());
+      Mutex.unlock mutex
+    in
+    let t0 = Clock.now_ns () in
+    match f () with
+    | v ->
+        let t1 = Clock.now_ns () in
+        leave ();
+        record ~name ~t0 ~t1 ~depth:d ~tid ~attrs;
+        v
+    | exception e ->
+        let t1 = Clock.now_ns () in
+        leave ();
+        record ~name ~t0 ~t1 ~depth:d ~tid
+          ~attrs:(("error", Str (Printexc.to_string e)) :: attrs);
+        raise e
+  end
+
+(** [instant ?attrs name] — record a zero-duration marker event. *)
+let instant ?(attrs : (string * attr) list = []) name =
+  if !Control.enabled then begin
+    let t = Clock.now_ns () in
+    record ~name ~t0:t ~t1:t ~depth:!depth
+      ~tid:((Domain.self () :> int))
+      ~attrs
+  end

@@ -19,6 +19,7 @@ let () =
       ("device", Test_device.suite);
       ("sim", Test_sim.suite);
       ("kernels", Test_kernels.suite);
+      ("telemetry", Test_telemetry.suite);
       ("dse", Test_dse.suite);
       ("streambench", Test_streambench.suite);
       ("robustness", Test_robustness.suite);
