@@ -119,20 +119,10 @@ let observability_term =
 (* Root span of one tybec subcommand. *)
 let traced name f = Tytra_telemetry.Span.with_ ~name:("tybec." ^ name) f
 
+(* Typed diagnostics from the library; located "file:line:" messages
+   come for free from [Error.pp]. *)
 let read_design path =
-  match Tytra_ir.Parser.parse_file path with
-  | d -> (
-      match Tytra_ir.Validate.check d with
-      | [] -> Ok d
-      | errs ->
-          Error
-            (String.concat "\n"
-               (List.map Tytra_ir.Validate.error_to_string errs)))
-  | exception Tytra_ir.Parser.Parse_error (m, l) ->
-      Error (Printf.sprintf "%s:%d: parse error: %s" path l m)
-  | exception Tytra_ir.Lexer.Lex_error (m, l) ->
-      Error (Printf.sprintf "%s:%d: lex error: %s" path l m)
-  | exception Sys_error e -> Error e
+  Result.map_error Tytra_ir.Error.to_string (Tytra_ir.Parser.load_file path)
 
 (* ---- common args ---- *)
 
@@ -356,7 +346,15 @@ let explore_cmd =
   let lanes_arg =
     Arg.(value & opt int 16 & info [ "max-lanes" ] ~doc:"Maximum lane count.")
   in
-  let run () kernel size lanes device form nki =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Evaluate design points on $(docv) parallel domains (0 = one \
+             per core). Results are identical to the sequential sweep.")
+  in
+  let run () kernel size lanes device form nki jobs =
     traced "explore" @@ fun () ->
     let prog =
       match kernel with
@@ -365,7 +363,12 @@ let explore_cmd =
       | `Lavamd -> Tytra_kernels.Lavamd.program ~boxes:size ()
       | `Srad -> Tytra_kernels.Srad.program ~rows:size ~cols:size ()
     in
-    let pts = Tytra_dse.Dse.explore ~device ~form ~nki ~max_lanes:lanes prog in
+    let jobs = if jobs = 0 then Tytra_exec.Pool.default_jobs () else jobs in
+    let config =
+      { Tytra_dse.Dse.default_config with device; form; nki;
+        max_lanes = lanes; jobs }
+    in
+    let pts = Tytra_dse.Dse.explore ~config prog in
     let front = Tytra_dse.Dse.pareto pts in
     traced "report" @@ fun () ->
     List.iter (fun p -> Format.printf "%a@." Tytra_dse.Dse.pp_point p) pts;
@@ -382,7 +385,7 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Design-space exploration over a built-in kernel")
     Term.(
       const run $ observability_term $ kernel_arg $ size_arg $ lanes_arg
-      $ device_arg $ form_arg $ nki_arg)
+      $ device_arg $ form_arg $ nki_arg $ jobs_arg)
 
 (* ---- bw ---- *)
 

@@ -40,7 +40,11 @@ let () =
   assert same;
 
   (* full flow on the imported program *)
-  let pts = Tytra_dse.Dse.explore ~nki:1000 ~max_lanes:8 prog in
+  let pts =
+    Tytra_dse.Dse.(explore
+      ~config:{ default_config with nki = 1000; max_lanes = 8 })
+      prog
+  in
   List.iter (fun p -> Format.printf "  %a@." Tytra_dse.Dse.pp_point p) pts;
   (match Tytra_dse.Dse.best pts with
   | Some best ->

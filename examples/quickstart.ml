@@ -50,7 +50,11 @@ let () =
 
   (* 4. Lower to TyTra-IR and run the cost model on each variant. *)
   let device = Tytra_device.Device.stratixv_gsd8 in
-  let points = Tytra_dse.Dse.explore ~device ~nki:1000 ~max_lanes:8 program in
+  let points =
+    Tytra_dse.Dse.(explore
+      ~config:{ default_config with device; nki = 1000; max_lanes = 8 })
+      program
+  in
   List.iter (fun p -> Format.printf "  %a@." Tytra_dse.Dse.pp_point p) points;
 
   (* 5. Select and inspect the winner. *)

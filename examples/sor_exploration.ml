@@ -58,7 +58,11 @@ let () =
 
   (* guided search: follow the limiting parameter *)
   Format.printf "@.guided search trace:@.";
-  let trace = Tytra_dse.Dse.guided ~device ~nki ~max_lanes:32 program in
+  let trace =
+    Tytra_dse.Dse.(guided
+      ~config:{ default_config with device; nki; max_lanes = 32 })
+      program
+  in
   List.iter (fun p -> Format.printf "  %a@." Tytra_dse.Dse.pp_point p) trace;
 
   match Tytra_dse.Dse.best trace with

@@ -1,0 +1,33 @@
+(** One-call evaluation of a design variant: the "Resource estimates /
+    Perf' estimate" outputs of the cost-model use-case (paper Fig 2).
+
+    Public interface of [Tytra_cost.Report]. [evaluate] is pure and
+    re-entrant — it touches no shared mutable state — so the parallel
+    DSE pool may run any number of evaluations concurrently. *)
+
+(** A complete cost-model evaluation of one design variant. *)
+type t = {
+  rp_design : string;
+  rp_device : string;
+  rp_estimate : Resource_model.estimate;
+  rp_breakdown : Throughput.breakdown;
+  rp_walls : Limits.walls;
+  rp_balance : Limits.balance_hint;
+  rp_valid : bool;     (** fits on the device *)
+  rp_utilization : Tytra_device.Resources.utilization;
+}
+
+val evaluate :
+  ?device:Tytra_device.Device.t ->
+  ?calib:Tytra_device.Bandwidth.calib ->
+  ?form:Throughput.form ->
+  ?nki:int ->
+  Tytra_ir.Ast.design ->
+  t
+(** [evaluate ?device ?calib ?form ?nki d] — run the complete cost model
+    on design [d]: parse-derived parameters, resource accumulation,
+    throughput and wall analysis. This is the fast path the estimator
+    speed claim (§VI-A) is about. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

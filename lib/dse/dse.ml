@@ -1,7 +1,13 @@
 (** Design-space exploration: generate variants by type transformation,
     lower each to TyTra-IR, cost it, and select — "the compiler costs the
     variants" of paper Fig 1, with the selection policy of §VI-A: as many
-    lanes as the resources allow, or until the IO bandwidth saturates. *)
+    lanes as the resources allow, or until the IO bandwidth saturates.
+
+    The evaluation loop runs through {!Tytra_exec}: points fan out over a
+    Domain pool ([config.jobs]) and every (program, variant, device,
+    calibration, form, nki) evaluation is memoized in a process-wide LRU
+    cache, so repeated sweeps — guided search, cross-device exploration,
+    the bench harness — cost one lowering per distinct point. *)
 
 open Tytra_front
 
@@ -17,46 +23,133 @@ type point = {
 let ekit (p : point) = p.dp_report.Tytra_cost.Report.rp_breakdown.Tytra_cost.Throughput.bd_ekit
 let valid (p : point) = p.dp_report.Tytra_cost.Report.rp_valid
 
-(** [explore ?device ?calib ?form ?nki ?max_lanes ?max_vec prog] —
-    enumerate the reshaping design space of [prog], lower every variant
-    and run the full cost model on each. This is the fast evaluation loop
-    whose per-variant latency the paper benchmarks at ~0.3 s (we measure
-    it in experiment E5). *)
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Everything a sweep is parameterized by, as one value. *)
+type config = {
+  device : Tytra_device.Device.t;   (** target FPGA platform *)
+  calib : Tytra_device.Bandwidth.calib option;
+      (** bandwidth calibration; [None] = the device's built-in one *)
+  form : Tytra_cost.Throughput.form;  (** memory-execution form (Fig 6) *)
+  nki : int;                        (** kernel-instance repetitions *)
+  max_lanes : int;                  (** lane-count bound of the space *)
+  max_vec : int;                    (** vectorization bound of the space *)
+  jobs : int;                       (** evaluation-pool domains; 1 = seq *)
+  use_cache : bool;                 (** memoize point evaluations *)
+}
+
+let default_config : config =
+  {
+    device = Tytra_device.Device.stratixv_gsd8;
+    calib = None;
+    form = Tytra_cost.Throughput.FormB;
+    nki = 1;
+    max_lanes = 16;
+    max_vec = 1;
+    jobs = 1;
+    use_cache = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Memoized point evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Lower + cost results are pure functions of the content key below, so
+   one process-wide cache serves every entry point. 4096 entries hold a
+   full 16-lane × 3-form × all-device sweep several times over. *)
+let cache : (Tytra_ir.Ast.design * Tytra_cost.Report.t) Tytra_exec.Cache.t =
+  Tytra_exec.Cache.create ~metrics_prefix:"dse.cache" ~capacity:4096 ()
+
+let cache_stats () = Tytra_exec.Cache.stats cache
+let cache_hit_rate () = Tytra_exec.Cache.hit_rate cache
+let clear_cache () =
+  Tytra_exec.Cache.clear cache;
+  Tytra_exec.Cache.reset_stats cache
+
+(* Expr programs and calibrations are pure data, so a digest of their
+   marshalled bytes is a sound content key. *)
+let program_digest (prog : Expr.program) =
+  Digest.to_hex (Digest.string (Marshal.to_string prog []))
+
+let calib_digest = function
+  | None -> "device-default"
+  | Some c -> Digest.to_hex (Digest.string (Marshal.to_string c []))
+
+let point_key ~(config : config) ~prog_key v =
+  Tytra_exec.Cache.digest_key
+    [
+      prog_key;
+      Transform.to_string v;
+      config.device.Tytra_device.Device.dev_name;
+      calib_digest config.calib;
+      Tytra_cost.Throughput.form_to_string config.form;
+      string_of_int config.nki;
+    ]
+
 (* Evaluate one variant under a per-point span: lane count, form and the
    resulting EKIT become trace attributes, so a sweep reads as a row of
-   "dse.point" slices in Perfetto. *)
-let eval_point ~device ?calib ~form ~nki prog v =
+   "dse.point" slices in Perfetto (one lane per pool domain). *)
+let eval_point ~(config : config) ~prog_key prog v =
   Tytra_telemetry.Span.with_ ~name:"dse.point"
     ~attrs:
       [ ("variant", Tytra_telemetry.Span.Str (Transform.to_string v));
         ("pes", Tytra_telemetry.Span.Int (Transform.pes v));
         ("form",
-         Tytra_telemetry.Span.Str (Tytra_cost.Throughput.form_to_string form));
+         Tytra_telemetry.Span.Str
+           (Tytra_cost.Throughput.form_to_string config.form));
       ]
   @@ fun () ->
-  let d = Lower.lower prog v in
-  let report = Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d in
+  let compute () =
+    let d = Lower.lower prog v in
+    let report =
+      Tytra_cost.Report.evaluate ~device:config.device ?calib:config.calib
+        ~form:config.form ~nki:config.nki d
+    in
+    (d, report)
+  in
+  let d, report =
+    if config.use_cache then
+      Tytra_exec.Cache.find_or_add cache ~key:(point_key ~config ~prog_key v)
+        compute
+    else compute ()
+  in
   let p = { dp_variant = v; dp_design = d; dp_report = report } in
   Tytra_telemetry.Metrics.incr "dse.points_evaluated";
   Tytra_telemetry.Metrics.observe "dse.point.ekit" (ekit p);
   p
 
-let explore ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
-    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16)
-    ?(max_vec = 1) (prog : Expr.program) : point list =
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [explore ?config prog] — enumerate the reshaping design space of
+    [prog], lower every variant and run the full cost model on each,
+    fanned out over [config.jobs] domains. This is the fast evaluation
+    loop whose per-variant latency the paper benchmarks at ~0.3 s (we
+    measure it in experiment E5). Results are in enumeration order and
+    identical for every [jobs] value. *)
+let explore ?(config = default_config) (prog : Expr.program) : point list =
   Tytra_telemetry.Span.with_ ~name:"dse.explore"
     ~attrs:
       [ ("kernel", Tytra_telemetry.Span.Str prog.Expr.p_kernel.Expr.k_name);
-        ("max_lanes", Tytra_telemetry.Span.Int max_lanes);
-        ("max_vec", Tytra_telemetry.Span.Int max_vec) ]
+        ("max_lanes", Tytra_telemetry.Span.Int config.max_lanes);
+        ("max_vec", Tytra_telemetry.Span.Int config.max_vec);
+        ("jobs", Tytra_telemetry.Span.Int config.jobs) ]
   @@ fun () ->
+  let prog_key = program_digest prog in
+  let variants =
+    Transform.enumerate ~max_lanes:config.max_lanes ~max_vec:config.max_vec
+      prog
+  in
   let pts =
-    Transform.enumerate ~max_lanes ~max_vec prog
-    |> List.map (eval_point ~device ?calib ~form ~nki prog)
+    Tytra_exec.Pool.with_pool ~jobs:config.jobs (fun pool ->
+        Tytra_exec.Pool.map pool (eval_point ~config ~prog_key prog) variants)
   in
   Log.info (fun m ->
-      m "explored %d variants of %s (max_lanes %d)" (List.length pts)
-        prog.Expr.p_kernel.Expr.k_name max_lanes);
+      m "explored %d variants of %s (max_lanes %d, jobs %d)" (List.length pts)
+        prog.Expr.p_kernel.Expr.k_name config.max_lanes config.jobs);
   pts
 
 (** [best points] — the highest-EKIT variant among those that fit the
@@ -100,16 +193,17 @@ let pareto (points : point list) : point list =
     limiting parameter. Starting from the baseline pipe, double lanes
     while compute-limited and the next variant still fits; stop at a
     bandwidth wall (more lanes cannot help) or the resource wall. Returns
-    the visited points in order — a trace of the feedback loop. *)
-let guided ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
-    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 64)
-    (prog : Expr.program) : point list =
+    the visited points in order — a trace of the feedback loop. The loop
+    is inherently sequential, but revisited points (e.g. after a prior
+    [explore] of the same program) come from the cache. *)
+let guided ?(config = default_config) (prog : Expr.program) : point list =
   Tytra_telemetry.Span.with_ ~name:"dse.guided"
     ~attrs:
       [ ("kernel", Tytra_telemetry.Span.Str prog.Expr.p_kernel.Expr.k_name);
-        ("max_lanes", Tytra_telemetry.Span.Int max_lanes) ]
+        ("max_lanes", Tytra_telemetry.Span.Int config.max_lanes) ]
   @@ fun () ->
-  let eval = eval_point ~device ?calib ~form ~nki prog in
+  let prog_key = program_digest prog in
+  let eval = eval_point ~config ~prog_key prog in
   let applicable l = Transform.applicable prog (Transform.ParPipe l) in
   let rec go acc lanes =
     let v = if lanes = 1 then Transform.Pipe else Transform.ParPipe lanes in
@@ -121,20 +215,21 @@ let guided ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
     in
     let next = lanes * 2 in
     if
-      limited_by_compute && valid p && next <= max_lanes && applicable next
+      limited_by_compute && valid p && next <= config.max_lanes
+      && applicable next
     then go acc next
     else List.rev acc
   in
   go [] 1
 
-(** Cross-device exploration: evaluate the variant space on every known
-    target and return per-device results plus the overall best
-    (device, point) — "performance portability" made concrete: the same
-    high-level program, retargeted by swapping the one-time device
-    description and calibration. *)
-let explore_devices ?(devices = Tytra_device.Device.all)
-    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16)
-    (prog : Expr.program) :
+(** Cross-device exploration: evaluate the variant space on every device
+    of [devices] (default: the whole registry) and return per-device
+    results plus the overall best (device, point) — "performance
+    portability" made concrete: the same high-level program, retargeted
+    by swapping the one-time device description and calibration. Each
+    per-device sweep runs on the evaluation pool. *)
+let explore_devices ?(config = default_config)
+    ?(devices = Tytra_device.Device.all) (prog : Expr.program) :
     (Tytra_device.Device.t * point list) list
     * (Tytra_device.Device.t * point) option =
   let per_device =
@@ -144,7 +239,7 @@ let explore_devices ?(devices = Tytra_device.Device.all)
           ~attrs:
             [ ("device",
                Tytra_telemetry.Span.Str device.Tytra_device.Device.dev_name) ]
-          (fun () -> (device, explore ~device ~form ~nki ~max_lanes prog)))
+          (fun () -> (device, explore ~config:{ config with device } prog)))
       devices
   in
   let best_overall =
@@ -167,3 +262,25 @@ let pp_point fmt (p : point) =
     (if valid p then "fits " else "OVER ")
     (Tytra_cost.Throughput.limiter_to_string
        p.dp_report.Tytra_cost.Report.rp_breakdown.Tytra_cost.Throughput.bd_limiter)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated optional-argument entry points (one release of grace)    *)
+(* ------------------------------------------------------------------ *)
+
+let explore_legacy ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
+    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16)
+    ?(max_vec = 1) prog =
+  explore
+    ~config:{ default_config with device; calib; form; nki; max_lanes; max_vec }
+    prog
+
+let guided_legacy ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
+    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 64) prog =
+  guided ~config:{ default_config with device; calib; form; nki; max_lanes }
+    prog
+
+let explore_devices_legacy ?(devices = Tytra_device.Device.all)
+    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16) prog =
+  explore_devices
+    ~config:{ default_config with form; nki; max_lanes }
+    ~devices prog

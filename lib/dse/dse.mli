@@ -1,0 +1,102 @@
+(** Design-space exploration over the reshaping variant space.
+
+    Public interface of [Tytra_dse.Dse]. A sweep is parameterized by one
+    {!config} value; evaluation fans out over a {!Tytra_exec.Pool} and
+    memoizes (program, variant, device, calibration, form, nki) points in
+    a process-wide {!Tytra_exec.Cache}. *)
+
+(** One evaluated design point. *)
+type point = {
+  dp_variant : Tytra_front.Transform.variant;
+  dp_design : Tytra_ir.Ast.design;
+  dp_report : Tytra_cost.Report.t;
+}
+
+val ekit : point -> float
+(** Effective kernel-iteration throughput of the point (higher = better). *)
+
+val valid : point -> bool
+(** Does the point fit on its device? *)
+
+(** Sweep parameters. Build one with record update on
+    {!default_config}: [{ default_config with jobs = 8; max_lanes = 32 }]. *)
+type config = {
+  device : Tytra_device.Device.t;   (** target FPGA platform *)
+  calib : Tytra_device.Bandwidth.calib option;
+      (** bandwidth calibration; [None] = the device's built-in one *)
+  form : Tytra_cost.Throughput.form;  (** memory-execution form (Fig 6) *)
+  nki : int;                        (** kernel-instance repetitions *)
+  max_lanes : int;                  (** lane-count bound of the space *)
+  max_vec : int;                    (** vectorization bound of the space *)
+  jobs : int;                       (** evaluation-pool domains; 1 = seq *)
+  use_cache : bool;                 (** memoize point evaluations *)
+}
+
+val default_config : config
+(** Stratix-V GSD8, device calibration, form B, [nki = 1],
+    [max_lanes = 16], [max_vec = 1], [jobs = 1], caching on. *)
+
+val explore : ?config:config -> Tytra_front.Expr.program -> point list
+(** Evaluate the whole variant space. Results are in enumeration order
+    and identical for every [config.jobs] value. *)
+
+val best : point list -> point option
+(** Highest-EKIT point that fits the device, if any. *)
+
+val pareto : point list -> point list
+(** The EKIT/ALUT Pareto front of the valid points. *)
+
+val guided : ?config:config -> Tytra_front.Expr.program -> point list
+(** Follow-the-limiter search: double lanes while compute-limited and
+    fitting. Returns the visited points in order. *)
+
+val explore_devices :
+  ?config:config ->
+  ?devices:Tytra_device.Device.t list ->
+  Tytra_front.Expr.program ->
+  (Tytra_device.Device.t * point list) list
+  * (Tytra_device.Device.t * point) option
+(** Per-device sweeps ([config.device] is overridden by each element of
+    [devices]) plus the overall winner. *)
+
+val pp_point : Format.formatter -> point -> unit
+
+(** {2 Evaluation cache} *)
+
+val cache_stats : unit -> Tytra_exec.Cache.stats
+val cache_hit_rate : unit -> float
+val clear_cache : unit -> unit
+(** Drop all memoized evaluations and reset the cache statistics. *)
+
+(** {2 Deprecated optional-argument API (removed next release)} *)
+
+val explore_legacy :
+  ?device:Tytra_device.Device.t ->
+  ?calib:Tytra_device.Bandwidth.calib ->
+  ?form:Tytra_cost.Throughput.form ->
+  ?nki:int ->
+  ?max_lanes:int ->
+  ?max_vec:int ->
+  Tytra_front.Expr.program ->
+  point list
+[@@ocaml.deprecated "use explore ~config:{ default_config with ... }"]
+
+val guided_legacy :
+  ?device:Tytra_device.Device.t ->
+  ?calib:Tytra_device.Bandwidth.calib ->
+  ?form:Tytra_cost.Throughput.form ->
+  ?nki:int ->
+  ?max_lanes:int ->
+  Tytra_front.Expr.program ->
+  point list
+[@@ocaml.deprecated "use guided ~config:{ default_config with ... }"]
+
+val explore_devices_legacy :
+  ?devices:Tytra_device.Device.t list ->
+  ?form:Tytra_cost.Throughput.form ->
+  ?nki:int ->
+  ?max_lanes:int ->
+  Tytra_front.Expr.program ->
+  (Tytra_device.Device.t * point list) list
+  * (Tytra_device.Device.t * point) option
+[@@ocaml.deprecated "use explore_devices ~config:{ default_config with ... }"]

@@ -1,0 +1,128 @@
+(** Domain-based worker pool for the evaluation loop.
+
+    The DSE sweep is embarrassingly parallel — every (variant, device,
+    form) point lowers and costs independently — but variants are
+    *uneven*: a 16-lane variant elaborates an order of magnitude more IR
+    than the baseline pipe. A static block partition would leave most
+    domains idle behind the one that drew the widest variants, so [map]
+    feeds workers from a shared deque of small index chunks: each worker
+    pops the next chunk when it runs dry, which bounds the straggler
+    penalty by one chunk rather than one block.
+
+    Semantics are kept exactly sequential-equivalent:
+
+    - results come back in input order, whatever order workers finish;
+    - the first exception raised by any worker is re-raised (with its
+      backtrace) from [map] after all domains have been joined;
+    - [jobs = 1] short-circuits to [List.map] on the calling domain —
+      no domains, no mutex, bit-identical behaviour for tests and for
+      callers that need deterministic telemetry nesting. *)
+
+type t = { pool_jobs : int }
+
+(** Upper bound used by [default_jobs]: going past the physical core
+    count only adds scheduling noise to a CPU-bound sweep. *)
+let max_sensible_jobs = 64
+
+let default_jobs () =
+  min max_sensible_jobs (Domain.recommended_domain_count ())
+
+let create ?jobs () =
+  let j = match jobs with Some j -> j | None -> default_jobs () in
+  { pool_jobs = max 1 j }
+
+let jobs t = t.pool_jobs
+
+(* ------------------------------------------------------------------ *)
+(* Work deque: index chunks [lo, hi), popped front-first under a lock.  *)
+(* ------------------------------------------------------------------ *)
+
+type deque = {
+  dq_mutex : Mutex.t;
+  mutable dq_chunks : (int * int) list;
+}
+
+let deque_of ~n ~workers =
+  (* Small chunks (≈4 per worker) so an expensive tail item cannot hold
+     the whole sweep hostage; at least 1 so tiny inputs still terminate. *)
+  let chunk = max 1 (n / (workers * 4)) in
+  let rec build lo acc =
+    if lo >= n then List.rev acc
+    else build (lo + chunk) ((lo, min n (lo + chunk)) :: acc)
+  in
+  { dq_mutex = Mutex.create (); dq_chunks = build 0 [] }
+
+let deque_pop dq =
+  Mutex.lock dq.dq_mutex;
+  let r =
+    match dq.dq_chunks with
+    | [] -> None
+    | c :: tl ->
+        dq.dq_chunks <- tl;
+        Some c
+  in
+  Mutex.unlock dq.dq_mutex;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* map                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type 'b slot = Pending | Done of 'b
+
+(** [map t f xs] — [List.map f xs], fanned out over [jobs t] domains.
+    Order-preserving; re-raises the first worker exception. *)
+let map (t : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = List.length xs in
+  if t.pool_jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let workers = min t.pool_jobs n in
+    let input = Array.of_list xs in
+    let results = Array.make n Pending in
+    let dq = deque_of ~n ~workers in
+    let failure_mutex = Mutex.create () in
+    let failure : (exn * Printexc.raw_backtrace) option ref = ref None in
+    let failed = Atomic.make false in
+    let record_failure e bt =
+      Mutex.lock failure_mutex;
+      if !failure = None then failure := Some (e, bt);
+      Mutex.unlock failure_mutex;
+      Atomic.set failed true
+    in
+    let worker () =
+      let rec drain () =
+        if Atomic.get failed then ()
+        else
+          match deque_pop dq with
+          | None -> ()
+          | Some (lo, hi) ->
+              (try
+                 for i = lo to hi - 1 do
+                   if not (Atomic.get failed) then
+                     results.(i) <- Done (f input.(i))
+                 done
+               with e ->
+                 record_failure e (Printexc.get_raw_backtrace ()));
+              drain ()
+      in
+      drain ()
+    in
+    let domains = List.init workers (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    Tytra_telemetry.Metrics.incr "exec.pool.maps";
+    Tytra_telemetry.Metrics.add "exec.pool.items" (float_of_int n);
+    match !failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.to_list results
+        |> List.map (function
+             | Done v -> v
+             | Pending ->
+                 (* unreachable: every chunk was drained and no failure
+                    was recorded *)
+                 invalid_arg "Pool.map: missing result")
+  end
+
+(** [with_pool ?jobs f] — scoped pool; today a pool holds no OS
+    resources, but callers should not rely on that. *)
+let with_pool ?jobs f = f (create ?jobs ())

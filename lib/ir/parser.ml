@@ -347,12 +347,14 @@ let parse ?(name = "design") (src : string) : Ast.design =
   go ();
   !d
 
-(** [parse_result ~name src] is {!parse} with errors as [Error (msg, line)]. *)
-let parse_result ?name src : (Ast.design, string * int) result =
+(** [parse_result ?name ?file src] is {!parse} with failures reported as
+    a typed {!Error.t} instead of an exception — the entry point library
+    consumers should use. [file] only labels diagnostics. *)
+let parse_result ?name ?file src : (Ast.design, Error.t) result =
   match parse ?name src with
   | d -> Ok d
-  | exception Parse_error (m, l) -> Error (m, l)
-  | exception Lexer.Lex_error (m, l) -> Error (m, l)
+  | exception Parse_error (m, l) -> Result.error (Error.parse ?file m l)
+  | exception Lexer.Lex_error (m, l) -> Result.error (Error.lex ?file m l)
 
 (** Parse the contents of a [.tirl] file. *)
 let parse_file path =
@@ -362,3 +364,27 @@ let parse_file path =
     (fun () ->
       let src = really_input_string ic (in_channel_length ic) in
       parse ~name:(Filename.remove_extension (Filename.basename path)) src)
+
+(** [parse_file_result path] — {!parse_file} with typed errors;
+    unreadable files come back as [Error.Io]. *)
+let parse_file_result path : (Ast.design, Error.t) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Result.error (Error.Io { path; msg })
+  | src ->
+      parse_result
+        ~name:(Filename.remove_extension (Filename.basename path))
+        ~file:path src
+
+(** [load_file path] — parse *and* statically validate: the one-call
+    front door for tools. Validation failures come back as
+    [Error.Invalid]. *)
+let load_file path : (Ast.design, Error.t) result =
+  Result.bind (parse_file_result path) (fun d ->
+      match Validate.check d with
+      | [] -> Ok d
+      | errs -> Result.error (Error.Invalid errs))

@@ -6,6 +6,13 @@
     locally and publish aggregates once per run, so even enabled
     telemetry never adds per-iteration work on those paths.
 
+    Domain-safety: the registry is shared by all domains of the parallel
+    DSE pool ({!Tytra_exec.Pool}), so *every* access — mutations and
+    reads alike — takes the registry mutex. Reads work on a snapshot
+    taken under the lock, then format/sort outside it, so dumps never
+    observe a metric mid-update and never deadlock against a mutating
+    worker.
+
     Histograms keep exact samples up to a cap (for exact percentiles in
     tests and small sweeps) and degrade to count/sum/min/max beyond it. *)
 
@@ -108,16 +115,6 @@ let observe name x =
 (* Queries (always available, independent of the enabled switch)       *)
 (* ------------------------------------------------------------------ *)
 
-let counter_value name : float option =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> Some !c
-  | _ -> None
-
-let gauge_value name : float option =
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) -> Some !g
-  | _ -> None
-
 type histogram_stats = {
   hs_count : int;
   hs_sum : float;
@@ -134,21 +131,64 @@ let percentile sorted n q =
     let idx = min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1) in
     List.nth sorted (max 0 idx)
 
-let histogram_stats name : histogram_stats option =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) ->
-      let sorted = List.sort compare h.h_samples in
-      let n = h.h_kept in
-      Some
+(* Immutable copy of one metric, taken under the lock; everything
+   downstream (sorting, percentile math, formatting) runs lock-free. *)
+type snapshot_value =
+  | SCounter of float
+  | SGauge of float
+  | SHistogram of histogram  (* a field-copied record; h_samples shared
+                                structurally but immutable as a list *)
+
+let snap_one = function
+  | Counter c -> SCounter !c
+  | Gauge g -> SGauge !g
+  | Histogram h ->
+      SHistogram
         {
-          hs_count = h.h_count;
-          hs_sum = h.h_sum;
-          hs_mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count);
-          hs_min = (if h.h_count = 0 then 0.0 else h.h_min);
-          hs_max = (if h.h_count = 0 then 0.0 else h.h_max);
-          hs_p50 = percentile sorted n 0.50;
-          hs_p95 = percentile sorted n 0.95;
+          h_count = h.h_count;
+          h_sum = h.h_sum;
+          h_min = h.h_min;
+          h_max = h.h_max;
+          h_samples = h.h_samples;
+          h_kept = h.h_kept;
         }
+
+(** Consistent point-in-time copy of the whole registry, sorted by
+    name. The only read path — all queries and dumps go through it. *)
+let snapshot () : (string * snapshot_value) list =
+  Mutex.lock mutex;
+  let l = Hashtbl.fold (fun k m acc -> (k, snap_one m) :: acc) registry [] in
+  Mutex.unlock mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let snap_find name =
+  Mutex.lock mutex;
+  let r = Option.map snap_one (Hashtbl.find_opt registry name) in
+  Mutex.unlock mutex;
+  r
+
+let stats_of_histogram (h : histogram) : histogram_stats =
+  let sorted = List.sort compare h.h_samples in
+  let n = h.h_kept in
+  {
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count);
+    hs_min = (if h.h_count = 0 then 0.0 else h.h_min);
+    hs_max = (if h.h_count = 0 then 0.0 else h.h_max);
+    hs_p50 = percentile sorted n 0.50;
+    hs_p95 = percentile sorted n 0.95;
+  }
+
+let counter_value name : float option =
+  match snap_find name with Some (SCounter c) -> Some c | _ -> None
+
+let gauge_value name : float option =
+  match snap_find name with Some (SGauge g) -> Some g | _ -> None
+
+let histogram_stats name : histogram_stats option =
+  match snap_find name with
+  | Some (SHistogram h) -> Some (stats_of_histogram h)
   | _ -> None
 
 (** All registered metric names, sorted. *)
@@ -171,22 +211,17 @@ let pp_num fmt x =
 (** Plain-text dump of every registered metric, sorted by name. *)
 let pp_text fmt () =
   List.iter
-    (fun name ->
-      match Hashtbl.find_opt registry name with
-      | Some (Counter c) ->
-          Format.fprintf fmt "counter  %-42s %a@." name pp_num !c
-      | Some (Gauge g) ->
-          Format.fprintf fmt "gauge    %-42s %a@." name pp_num !g
-      | Some (Histogram _) -> (
-          match histogram_stats name with
-          | Some s ->
-              Format.fprintf fmt
-                "hist     %-42s count=%d mean=%a min=%a p50=%a p95=%a max=%a@."
-                name s.hs_count pp_num s.hs_mean pp_num s.hs_min pp_num
-                s.hs_p50 pp_num s.hs_p95 pp_num s.hs_max
-          | None -> ())
-      | None -> ())
-    (names ())
+    (fun (name, v) ->
+      match v with
+      | SCounter c -> Format.fprintf fmt "counter  %-42s %a@." name pp_num c
+      | SGauge g -> Format.fprintf fmt "gauge    %-42s %a@." name pp_num g
+      | SHistogram h ->
+          let s = stats_of_histogram h in
+          Format.fprintf fmt
+            "hist     %-42s count=%d mean=%a min=%a p50=%a p95=%a max=%a@."
+            name s.hs_count pp_num s.hs_mean pp_num s.hs_min pp_num
+            s.hs_p50 pp_num s.hs_p95 pp_num s.hs_max)
+    (snapshot ())
 
 let to_text () = Format.asprintf "%a" pp_text ()
 
@@ -221,30 +256,25 @@ let json_num x =
 
 (** JSON dump: {"counters":{..},"gauges":{..},"histograms":{..}}. *)
 let to_json () : string =
+  let snap = snapshot () in
   let b = Buffer.create 1024 in
   let cats =
     [
       ("counters",
-       fun name -> match Hashtbl.find_opt registry name with
-         | Some (Counter c) -> Some (json_num !c)
-         | _ -> None);
+       function SCounter c -> Some (json_num c) | _ -> None);
       ("gauges",
-       fun name -> match Hashtbl.find_opt registry name with
-         | Some (Gauge g) -> Some (json_num !g)
-         | _ -> None);
+       function SGauge g -> Some (json_num g) | _ -> None);
       ("histograms",
-       fun name -> match Hashtbl.find_opt registry name with
-         | Some (Histogram _) -> (
-             match histogram_stats name with
-             | Some s ->
-                 Some
-                   (Printf.sprintf
-                      "{\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s}"
-                      s.hs_count (json_num s.hs_sum) (json_num s.hs_mean)
-                      (json_num s.hs_min) (json_num s.hs_max)
-                      (json_num s.hs_p50) (json_num s.hs_p95))
-             | None -> None)
-         | _ -> None);
+       function
+       | SHistogram h ->
+           let s = stats_of_histogram h in
+           Some
+             (Printf.sprintf
+                "{\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s}"
+                s.hs_count (json_num s.hs_sum) (json_num s.hs_mean)
+                (json_num s.hs_min) (json_num s.hs_max)
+                (json_num s.hs_p50) (json_num s.hs_p95))
+       | _ -> None);
     ]
   in
   Buffer.add_char b '{';
@@ -254,14 +284,14 @@ let to_json () : string =
       Buffer.add_string b (Printf.sprintf "\"%s\":{" cat);
       let first = ref true in
       List.iter
-        (fun name ->
-          match get name with
+        (fun (name, v) ->
+          match get v with
           | Some v ->
               if not !first then Buffer.add_char b ',';
               first := false;
               Buffer.add_string b (json_string name ^ ":" ^ v)
           | None -> ())
-        (names ());
+        snap;
       Buffer.add_char b '}')
     cats;
   Buffer.add_char b '}';

@@ -52,9 +52,18 @@ let default_max_events = 1_000_000
 let max_events = ref default_max_events
 let set_max_events n = max_events := max 0 n
 
-(* open-span stack of the (single) instrumented thread of execution *)
-let stack : string list ref = ref []
-let depth = ref 0
+(* Open-span stack and nesting depth are *per-domain* state: workers of
+   the parallel DSE pool each carry their own stack, so concurrent spans
+   nest correctly inside their own domain and never contend on a lock
+   just to track depth. The completed-event buffer above stays shared
+   (and mutex-guarded) so one export sees every domain's spans. *)
+type domain_state = {
+  mutable ds_stack : string list;
+  mutable ds_depth : int;
+}
+
+let dls : domain_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { ds_stack = []; ds_depth = 0 })
 
 let reset () =
   Mutex.lock mutex;
@@ -62,9 +71,10 @@ let reset () =
   n_recorded := 0;
   seq := 0;
   dropped := 0;
-  stack := [];
-  depth := 0;
-  Mutex.unlock mutex
+  Mutex.unlock mutex;
+  let ds = Domain.DLS.get dls in
+  ds.ds_stack <- [];
+  ds.ds_depth <- 0
 
 (** Completed events in completion order (children before parents). *)
 let events () : event list =
@@ -75,12 +85,10 @@ let events () : event list =
 
 let dropped_events () = !dropped
 
-(** Dotted path of currently open spans, outermost first (diagnostics). *)
+(** Dotted path of the calling domain's open spans, outermost first
+    (diagnostics). *)
 let current_path () : string list =
-  Mutex.lock mutex;
-  let p = List.rev !stack in
-  Mutex.unlock mutex;
-  p
+  List.rev (Domain.DLS.get dls).ds_stack
 
 (* ------------------------------------------------------------------ *)
 (* The span combinator                                                 *)
@@ -115,16 +123,13 @@ let with_ ?(attrs : (string * attr) list = []) ~name f =
   if not !Control.enabled then f ()
   else begin
     let tid = (Domain.self () :> int) in
-    Mutex.lock mutex;
-    let d = !depth in
-    depth := d + 1;
-    stack := name :: !stack;
-    Mutex.unlock mutex;
+    let ds = Domain.DLS.get dls in
+    let d = ds.ds_depth in
+    ds.ds_depth <- d + 1;
+    ds.ds_stack <- name :: ds.ds_stack;
     let leave () =
-      Mutex.lock mutex;
-      depth := !depth - 1;
-      (match !stack with _ :: tl -> stack := tl | [] -> ());
-      Mutex.unlock mutex
+      ds.ds_depth <- ds.ds_depth - 1;
+      match ds.ds_stack with _ :: tl -> ds.ds_stack <- tl | [] -> ()
     in
     let t0 = Clock.now_ns () in
     match f () with
@@ -145,7 +150,8 @@ let with_ ?(attrs : (string * attr) list = []) ~name f =
 let instant ?(attrs : (string * attr) list = []) name =
   if !Control.enabled then begin
     let t = Clock.now_ns () in
-    record ~name ~t0:t ~t1:t ~depth:!depth
+    record ~name ~t0:t ~t1:t
+      ~depth:(Domain.DLS.get dls).ds_depth
       ~tid:((Domain.self () :> int))
       ~attrs
   end

@@ -1,13 +1,17 @@
 (* DSE tests: exploration coverage, selection, Pareto front, guided
-   search. *)
+   search, parallel/sequential equivalence and the evaluation cache. *)
 
 open Tytra_dse
 open Tytra_front
 
 let prog () = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 ()
 
+let cfg = Dse.default_config
+let explore_l ?(config = cfg) ~max_lanes ?(nki = 1) p =
+  Dse.explore ~config:{ config with max_lanes; nki } p
+
 let test_explore_covers_variants () =
-  let pts = Dse.explore ~max_lanes:8 (prog ()) in
+  let pts = explore_l ~max_lanes:8 (prog ()) in
   let names =
     List.map (fun p -> Transform.to_string p.Dse.dp_variant) pts
   in
@@ -17,7 +21,7 @@ let test_explore_covers_variants () =
     [ "seq"; "pipe"; "par2-pipe"; "par4-pipe"; "par8-pipe" ]
 
 let test_best_is_valid_max () =
-  let pts = Dse.explore ~max_lanes:8 ~nki:100 (prog ()) in
+  let pts = explore_l ~max_lanes:8 ~nki:100 (prog ()) in
   match Dse.best pts with
   | None -> Alcotest.fail "expected a valid point"
   | Some b ->
@@ -30,13 +34,13 @@ let test_best_is_valid_max () =
         pts
 
 let test_pipe_beats_seq () =
-  let pts = Dse.explore ~max_lanes:4 (prog ()) in
+  let pts = explore_l ~max_lanes:4 (prog ()) in
   let find v = List.find (fun p -> p.Dse.dp_variant = v) pts in
   Alcotest.(check bool) "pipeline >> sequential" true
     (Dse.ekit (find Transform.Pipe) > 3.0 *. Dse.ekit (find Transform.Seq))
 
 let test_pareto_front_property () =
-  let pts = Dse.explore ~max_lanes:16 ~nki:100 (prog ()) in
+  let pts = explore_l ~max_lanes:16 ~nki:100 (prog ()) in
   let front = Dse.pareto pts in
   Alcotest.(check bool) "front non-empty" true (front <> []);
   let area p =
@@ -56,7 +60,9 @@ let test_pareto_front_property () =
     front
 
 let test_guided_trace () =
-  let trace = Dse.guided ~nki:100 ~max_lanes:16 (prog ()) in
+  let trace =
+    Dse.guided ~config:{ cfg with nki = 100; max_lanes = 16 } (prog ())
+  in
   Alcotest.(check bool) "trace starts at pipe" true
     ((List.hd trace).Dse.dp_variant = Transform.Pipe);
   (* lanes double along the trace *)
@@ -85,12 +91,100 @@ let test_explore_respects_divisibility () =
     { Tytra_front.Expr.p_kernel = (Tytra_kernels.Sor.program ~im:10 ~jm:1 ~km:1 ()).Tytra_front.Expr.p_kernel;
       p_shape = [ 10 ] }
   in
-  let pts = Dse.explore ~max_lanes:8 p in
+  let pts = explore_l ~max_lanes:8 p in
   List.iter
     (fun pt ->
       Alcotest.(check bool) "applicable" true
         (Transform.applicable p pt.Dse.dp_variant))
     pts
+
+(* ---- parallel evaluation and the memoization cache ---- *)
+
+(* CI exercises both pool widths: TYTRA_JOBS=1 and TYTRA_JOBS=4. *)
+let test_jobs =
+  match int_of_string_opt (try Sys.getenv "TYTRA_JOBS" with Not_found -> "") with
+  | Some j when j >= 1 -> j
+  | _ -> 4
+
+let same_points (a : Dse.point list) (b : Dse.point list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun p q ->
+         p.Dse.dp_variant = q.Dse.dp_variant
+         && p.Dse.dp_report = q.Dse.dp_report)
+       a b
+
+let test_parallel_equals_sequential () =
+  let p = prog () in
+  (* fresh cache so hits cannot mask an ordering bug in the pool *)
+  Dse.clear_cache ();
+  let seq =
+    Dse.explore
+      ~config:{ cfg with nki = 100; jobs = 1; use_cache = false } p
+  in
+  List.iter
+    (fun jobs ->
+      Dse.clear_cache ();
+      let par =
+        Dse.explore
+          ~config:{ cfg with nki = 100; jobs; use_cache = false } p
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d == sequential" jobs)
+        true (same_points seq par))
+    [ 1; test_jobs ]
+
+let test_cached_sweep_equals_uncached () =
+  let p = prog () in
+  Dse.clear_cache ();
+  let cold = Dse.explore ~config:{ cfg with nki = 100 } p in
+  let warm = Dse.explore ~config:{ cfg with nki = 100 } p in
+  Alcotest.(check bool) "warm == cold" true (same_points cold warm)
+
+let test_repeat_sweep_hits_cache () =
+  let p = prog () in
+  Dse.clear_cache ();
+  Tytra_telemetry.Control.with_enabled true @@ fun () ->
+  Tytra_telemetry.Metrics.reset ();
+  let config = { cfg with nki = 100; jobs = test_jobs } in
+  let pts = Dse.explore ~config p in
+  let s1 = Dse.cache_stats () in
+  let _ = Dse.explore ~config p in
+  let s2 = Dse.cache_stats () in
+  let new_hits = s2.Tytra_exec.Cache.st_hits - s1.Tytra_exec.Cache.st_hits in
+  let n = List.length pts in
+  Alcotest.(check bool) "second sweep >90% cached" true
+    (float_of_int new_hits > 0.9 *. float_of_int n);
+  (* and the counters are published through the telemetry registry *)
+  match Tytra_telemetry.Metrics.counter_value "dse.cache.hits" with
+  | Some h -> Alcotest.(check bool) "telemetry hits counter" true (h > 0.0)
+  | None -> Alcotest.fail "dse.cache.hits not registered"
+
+let test_cache_key_sensitivity () =
+  (* a different form / nki / device must not serve a stale report *)
+  let p = prog () in
+  Dse.clear_cache ();
+  let ek config = List.map Dse.ekit (Dse.explore ~config p) in
+  let base = ek { cfg with nki = 100 } in
+  let other_nki = ek { cfg with nki = 1 } in
+  let other_form = ek { cfg with nki = 100; form = Tytra_cost.Throughput.FormA } in
+  Alcotest.(check bool) "nki changes the evaluation" true (base <> other_nki);
+  Alcotest.(check bool) "form changes the evaluation" true (base <> other_form);
+  (* identical parameters do hit *)
+  let s1 = Dse.cache_stats () in
+  let again = ek { cfg with nki = 100 } in
+  let s2 = Dse.cache_stats () in
+  Alcotest.(check bool) "same-config sweep cached" true
+    (s2.Tytra_exec.Cache.st_hits > s1.Tytra_exec.Cache.st_hits);
+  Alcotest.(check bool) "cached results identical" true (base = again)
+
+let test_legacy_wrappers () =
+  let p = prog () in
+  Dse.clear_cache ();
+  let via_config = Dse.explore ~config:{ cfg with max_lanes = 4 } p in
+  let via_legacy = (Dse.explore_legacy [@warning "-3"]) ~max_lanes:4 p in
+  Alcotest.(check bool) "legacy wrapper == config API" true
+    (same_points via_config via_legacy)
 
 let suite =
   [
@@ -102,11 +196,23 @@ let suite =
     Alcotest.test_case "guided trace" `Quick test_guided_trace;
     Alcotest.test_case "divisibility respected" `Quick
       test_explore_respects_divisibility;
+    Alcotest.test_case "parallel == sequential" `Quick
+      test_parallel_equals_sequential;
+    Alcotest.test_case "cached sweep == uncached" `Quick
+      test_cached_sweep_equals_uncached;
+    Alcotest.test_case "repeat sweep hits cache" `Quick
+      test_repeat_sweep_hits_cache;
+    Alcotest.test_case "cache key sensitivity" `Quick
+      test_cache_key_sensitivity;
+    Alcotest.test_case "legacy wrappers" `Quick test_legacy_wrappers;
   ]
 
 let test_explore_devices () =
   let p = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 () in
-  let per_device, best = Dse.explore_devices ~nki:100 ~max_lanes:4 p in
+  let per_device, best =
+    Dse.explore_devices
+      ~config:{ cfg with nki = 100; max_lanes = 4; jobs = test_jobs } p
+  in
   Alcotest.(check int) "all devices explored"
     (List.length Tytra_device.Device.all)
     (List.length per_device);

@@ -20,6 +20,7 @@ let () =
       ("sim", Test_sim.suite);
       ("kernels", Test_kernels.suite);
       ("telemetry", Test_telemetry.suite);
+      ("exec", Test_exec.suite);
       ("dse", Test_dse.suite);
       ("streambench", Test_streambench.suite);
       ("robustness", Test_robustness.suite);

@@ -109,8 +109,46 @@ let test_parse_errors () =
 
 let test_error_line_numbers () =
   match Parser.parse_result "\n\n%m = memobj global ui18\n" with
-  | Error (_, line) -> Alcotest.(check bool) "line >= 3" true (line >= 3)
+  | Error e -> (
+      match Error.line e with
+      | Some line -> Alcotest.(check bool) "line >= 3" true (line >= 3)
+      | None -> Alcotest.fail "expected a located lex/parse error")
   | Ok _ -> Alcotest.fail "expected error"
+
+let test_typed_errors () =
+  (* parse_result returns the typed channel: constructors, not strings *)
+  (match Parser.parse_result ~file:"bad.tirl" "define void @f () wat { }" with
+  | Error (Error.Parse { loc; _ }) ->
+      Alcotest.(check (option string)) "file recorded" (Some "bad.tirl")
+        loc.Error.loc_file
+  | Error e -> Alcotest.failf "expected Parse, got %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Parser.parse_result "@x = \x01" with
+  | Error (Error.Lex _) -> ()
+  | Error e -> Alcotest.failf "expected Lex, got %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected error");
+  (* to_string renders a located compiler-style diagnostic *)
+  (match Parser.parse_result ~file:"bad.tirl" "\ndefine void @f () wat { }" with
+  | Error e ->
+      let s = Error.to_string e in
+      Alcotest.(check bool) "diagnostic is located" true
+        (String.length s >= 11 && String.sub s 0 11 = "bad.tirl:2:")
+  | Ok _ -> Alcotest.fail "expected error");
+  (* missing file surfaces as Io, not Sys_error *)
+  (match Parser.load_file "/nonexistent/x.tirl" with
+  | Error (Error.Io _) -> ()
+  | Error e -> Alcotest.failf "expected Io, got %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected error");
+  (* a parseable but invalid design surfaces the validator's findings *)
+  let tmp = Filename.temp_file "tytra_invalid" ".tirl" in
+  let oc = open_out tmp in
+  output_string oc "define void @f (ui18 %x) pipe { %y = add ui18 %x, %nope }";
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
+  match Parser.load_file tmp with
+  | Error (Error.Invalid (_ :: _)) -> ()
+  | Error e -> Alcotest.failf "expected Invalid, got %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected a validation error"
 
 let test_lexer_tokens () =
   let toks = Lexer.tokenize "%a = add ui18 %b, -3 ; comment\n@g(1.5)" in
@@ -238,4 +276,5 @@ let suite =
         test_returning_call_parses;
       Alcotest.test_case "returning call errors" `Quick
         test_returning_call_errors;
+      Alcotest.test_case "typed error channel" `Quick test_typed_errors;
     ]
