@@ -354,7 +354,17 @@ let explore_cmd =
             "Evaluate design points on $(docv) parallel domains (0 = one \
              per core). Results are identical to the sequential sweep.")
   in
-  let run () kernel size lanes device form nki jobs =
+  let no_prune_arg =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Evaluate the whole space exhaustively instead of skipping \
+             points whose cost bounds prove them oversize or dominated. \
+             The selected variant and Pareto front are identical either \
+             way; this flag exists for benchmarking and verification.")
+  in
+  let run () kernel size lanes device form nki jobs no_prune =
     traced "explore" @@ fun () ->
     let prog =
       match kernel with
@@ -366,12 +376,22 @@ let explore_cmd =
     let jobs = if jobs = 0 then Tytra_exec.Pool.default_jobs () else jobs in
     let config =
       { Tytra_dse.Dse.default_config with device; form; nki;
-        max_lanes = lanes; jobs }
+        max_lanes = lanes; jobs; prune = not no_prune }
     in
-    let pts = Tytra_dse.Dse.explore ~config prog in
+    let sw = Tytra_dse.Dse.explore_sweep ~config prog in
+    let pts = sw.Tytra_dse.Dse.sw_points in
     let front = Tytra_dse.Dse.pareto pts in
     traced "report" @@ fun () ->
     List.iter (fun p -> Format.printf "%a@." Tytra_dse.Dse.pp_point p) pts;
+    List.iter
+      (fun b ->
+        Format.printf "%-16s pruned (%s): %a@."
+          (Tytra_front.Transform.to_string b.Tytra_dse.Dse.bp_variant)
+          (Tytra_dse.Dse.prune_reason_to_string b.Tytra_dse.Dse.bp_reason)
+          Tytra_cost.Bounds.pp b.Tytra_dse.Dse.bp_bounds)
+      sw.Tytra_dse.Dse.sw_bounded;
+    Format.printf "sweep: %a@." Tytra_dse.Dse.pp_sweep_stats
+      sw.Tytra_dse.Dse.sw_stats;
     Format.printf "pareto front: %d of %d points@." (List.length front)
       (List.length pts);
     (match Tytra_dse.Dse.best pts with
@@ -385,7 +405,7 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Design-space exploration over a built-in kernel")
     Term.(
       const run $ observability_term $ kernel_arg $ size_arg $ lanes_arg
-      $ device_arg $ form_arg $ nki_arg $ jobs_arg)
+      $ device_arg $ form_arg $ nki_arg $ jobs_arg $ no_prune_arg)
 
 (* ---- bw ---- *)
 

@@ -1,9 +1,15 @@
 (** One-call evaluation of a design variant: the "Resource estimates /
     Perf' estimate" outputs of the cost-model use-case (paper Fig 2).
 
-    Public interface of [Tytra_cost.Report]. [evaluate] is pure and
-    re-entrant — it touches no shared mutable state — so the parallel
-    DSE pool may run any number of evaluations concurrently. *)
+    Public interface of [Tytra_cost.Report]. [evaluate] is observably
+    pure and re-entrant — its only shared state is a set of domain-safe
+    memoization caches — so the parallel DSE pool may run any number of
+    evaluations concurrently.
+
+    Evaluation is staged: per-function resource costing, Table-I
+    parameter extraction and the EKIT expression are memoized
+    independently (see [report.ml] for the key structure), with hit/miss
+    telemetry under [cost.stage_cache.*]. *)
 
 (** A complete cost-model evaluation of one design variant. *)
 type t = {
@@ -28,6 +34,16 @@ val evaluate :
     on design [d]: parse-derived parameters, resource accumulation,
     throughput and wall analysis. This is the fast path the estimator
     speed claim (§VI-A) is about. *)
+
+val stage_cache_stats : unit -> (string * Tytra_exec.Cache.stats) list
+(** Hit/miss/eviction statistics of every cost-model stage cache, as
+    [(metrics-prefix, stats)] pairs: [cost.stage_cache.resource] (per-PE
+    resource costing), [.inputs] (Table-I extraction), [.throughput]
+    (EKIT evaluation). *)
+
+val clear_stage_caches : unit -> unit
+(** Drop all stage caches and reset their statistics. Benchmarks call
+    this between runs to measure cold-start costs honestly. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

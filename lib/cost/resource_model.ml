@@ -134,8 +134,8 @@ let pp_estimate fmt e =
     Tytra_device.Resources.pp e.est_usage e.est_fmax_mhz
 
 (* usage of a single PE function: datapath + delay lines + windows *)
-let pe_usage ?(cal = default_calibration) (d : Ast.design) (f : Ast.func) :
-    Tytra_device.Resources.usage =
+let pe_usage_uncached ?(cal = default_calibration) (d : Ast.design)
+    (f : Ast.func) : Tytra_device.Resources.usage =
   let aluts = ref 0 and regs = ref 0 and dsps = ref 0 in
   List.iter
     (fun (i : Ast.instr) ->
@@ -171,6 +171,37 @@ let pe_usage ?(cal = default_calibration) (d : Ast.design) (f : Ast.func) :
     bram_blocks = !bram_blocks;
     dsps = !dsps;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Stage cache: per-function resource costing                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [pe_usage] is a pure function of the PE's body and the calibration:
+   scheduling ignores the surrounding design and the offset windows are
+   derived from the function alone. Memoizing on a structural digest of
+   (function, calibration) makes a lane sweep cost each distinct PE once
+   — an L-lane variant re-uses the baseline's @f0 costing for all L
+   instances, so only the lane-dependent parts (stream control, glue,
+   walls) are recomputed per variant. *)
+let pe_cache : Tytra_device.Resources.usage Tytra_exec.Cache.t =
+  Tytra_exec.Cache.create ~metrics_prefix:"cost.stage_cache.resource"
+    ~capacity:1024 ()
+
+let pe_usage ?(cal = default_calibration) (d : Ast.design) (f : Ast.func) :
+    Tytra_device.Resources.usage =
+  let key =
+    Tytra_exec.Cache.digest_key
+      [ "pe-usage"; Tytra_exec.Cache.digest_marshal f;
+        Tytra_exec.Cache.digest_marshal cal ]
+  in
+  Tytra_exec.Cache.find_or_add pe_cache ~key (fun () ->
+      pe_usage_uncached ~cal d f)
+
+let pe_cache_stats () = Tytra_exec.Cache.stats pe_cache
+
+let clear_pe_cache () =
+  Tytra_exec.Cache.clear pe_cache;
+  Tytra_exec.Cache.reset_stats pe_cache
 
 (** [estimate ?device ?cal d] — resource estimate for the whole design:
     every PE instance, its offset windows and delay lines, per-stream

@@ -7,7 +7,15 @@
     Domain pool ([config.jobs]) and every (program, variant, device,
     calibration, form, nki) evaluation is memoized in a process-wide LRU
     cache, so repeated sweeps — guided search, cross-device exploration,
-    the bench harness — cost one lowering per distinct point. *)
+    the bench harness — cost one lowering per distinct point.
+
+    With [config.prune] on (the default), the sweep does not even lower
+    most of the space: after evaluating the cheap baselines (Seq, Pipe)
+    it computes admissible {!Tytra_cost.Bounds} for every replicated
+    candidate and skips those that provably cannot fit the device or
+    cannot beat an already-evaluated incumbent. Pruning is {e exact}:
+    {!best} and {!pareto} over the surviving points equal those of the
+    exhaustive sweep (see [sweep_many] below for the invariant). *)
 
 open Tytra_front
 
@@ -22,6 +30,10 @@ type point = {
 
 let ekit (p : point) = p.dp_report.Tytra_cost.Report.rp_breakdown.Tytra_cost.Throughput.bd_ekit
 let valid (p : point) = p.dp_report.Tytra_cost.Report.rp_valid
+
+let area (p : point) =
+  p.dp_report.Tytra_cost.Report.rp_estimate.Tytra_cost.Resource_model.est_usage
+    .Tytra_device.Resources.aluts
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                       *)
@@ -38,6 +50,7 @@ type config = {
   max_vec : int;                    (** vectorization bound of the space *)
   jobs : int;                       (** evaluation-pool domains; 1 = seq *)
   use_cache : bool;                 (** memoize point evaluations *)
+  prune : bool;                     (** bound-based pruning of the space *)
 }
 
 let default_config : config =
@@ -50,6 +63,7 @@ let default_config : config =
     max_vec = 1;
     jobs = 1;
     use_cache = true;
+    prune = true;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -70,12 +84,11 @@ let clear_cache () =
 
 (* Expr programs and calibrations are pure data, so a digest of their
    marshalled bytes is a sound content key. *)
-let program_digest (prog : Expr.program) =
-  Digest.to_hex (Digest.string (Marshal.to_string prog []))
+let program_digest (prog : Expr.program) = Tytra_exec.Cache.digest_marshal prog
 
 let calib_digest = function
   | None -> "device-default"
-  | Some c -> Digest.to_hex (Digest.string (Marshal.to_string c []))
+  | Some c -> Tytra_exec.Cache.digest_marshal c
 
 let point_key ~(config : config) ~prog_key v =
   Tytra_exec.Cache.digest_key
@@ -121,36 +134,296 @@ let eval_point ~(config : config) ~prog_key prog v =
   p
 
 (* ------------------------------------------------------------------ *)
+(* Bound-based pruned sweep                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Why a candidate was skipped without lowering. *)
+type prune_reason =
+  | Overflow   (** resource lower bound exceeds the device *)
+  | Dominated  (** EKIT upper bound below an incumbent of no more area *)
+
+let prune_reason_to_string = function
+  | Overflow -> "resource overflow"
+  | Dominated -> "dominated by incumbent"
+
+(** A candidate skipped by the pruner, with the bounds that justify it. *)
+type bounded = {
+  bp_variant : Transform.variant;
+  bp_bounds : Tytra_cost.Bounds.t;
+  bp_reason : prune_reason;
+}
+
+type sweep_stats = {
+  ss_space : int;             (** variants enumerated *)
+  ss_evaluated : int;         (** full lower + cost evaluations performed *)
+  ss_pruned_resource : int;   (** skipped: could not fit *)
+  ss_pruned_incumbent : int;  (** skipped: could not beat the incumbent *)
+}
+
+let pp_sweep_stats fmt s =
+  Format.fprintf fmt "%d variants: %d evaluated, %d pruned (%d overflow, %d dominated)"
+    s.ss_space s.ss_evaluated
+    (s.ss_pruned_resource + s.ss_pruned_incumbent)
+    s.ss_pruned_resource s.ss_pruned_incumbent
+
+(** Result of one sweep: fully evaluated points, pruned candidates, and
+    the evaluation accounting. *)
+type sweep = {
+  sw_points : point list;     (** evaluated points, enumeration order *)
+  sw_bounded : bounded list;  (** pruned candidates, enumeration order *)
+  sw_stats : sweep_stats;
+}
+
+(* Mutable per-config sweep state; driven by [sweep_many] below. All
+   mutation happens on the calling domain — worker domains only run the
+   pure [eval_point]. *)
+type sweep_state = {
+  st_config : config;
+  st_prog_key : string;
+  st_space : int;
+  mutable st_done : (int * point) list;       (* (enumeration index, point) *)
+  mutable st_bounded : (int * bounded) list;
+  mutable st_queue : (int * Transform.variant * Tytra_cost.Bounds.t) list;
+      (* pending candidates, sorted by (ekit_ub desc, index asc) *)
+  mutable st_incumbent : (float * int) option; (* (ekit, area) of best valid *)
+}
+
+let update_incumbent st (p : point) =
+  if valid p then begin
+    let e = ekit p and a = area p in
+    match st.st_incumbent with
+    | None -> st.st_incumbent <- Some (e, a)
+    | Some (be, ba) ->
+        if e > be || (e = be && a < ba) then st.st_incumbent <- Some (e, a)
+  end
+
+(* The pruning invariant: a candidate may be skipped only when some
+   *evaluated* valid point provably dominates it. [b.b_ekit_ub < be]
+   gives actual_ekit ≤ ekit_ub < incumbent's ekit (strict), and
+   [area_lb b ≥ ba] gives actual_area ≥ area_lb ≥ incumbent's area — so
+   the incumbent beats the candidate on throughput and matches-or-beats
+   it on area. Such a point can be neither [best] (its EKIT is strictly
+   below a valid survivor's) nor on the [pareto] front (the incumbent
+   dominates it), hence best/pareto over the survivors equal the
+   exhaustive sweep's. *)
+let prunable st (b : Tytra_cost.Bounds.t) =
+  match st.st_incumbent with
+  | None -> false
+  | Some (be, ba) ->
+      b.Tytra_cost.Bounds.b_ekit_ub < be && Tytra_cost.Bounds.area_lb b >= ba
+
+let record_bounded st idx v b reason =
+  Tytra_telemetry.Metrics.incr "dse.points_pruned";
+  st.st_bounded <-
+    (idx, { bp_variant = v; bp_bounds = b; bp_reason = reason })
+    :: st.st_bounded
+
+let rec take_n n = function
+  | x :: tl when n > 0 ->
+      let a, b = take_n (n - 1) tl in
+      (x :: a, b)
+  | l -> ([], l)
+
+(* Evaluate a combined wave of (state, index, variant) items on the
+   shared pool; results land back in each state's accumulator. *)
+let eval_wave ~pool prog (items : (sweep_state * int * Transform.variant) list)
+    =
+  Tytra_exec.Pool.map pool
+    (fun (st, idx, v) ->
+      (st, idx, eval_point ~config:st.st_config ~prog_key:st.st_prog_key prog v))
+    items
+  |> List.iter (fun (st, idx, p) ->
+         st.st_done <- (idx, p) :: st.st_done;
+         update_incumbent st p)
+
+(** [sweep_many ~pool configs prog] — run one sweep of [prog] per config,
+    interleaved on a single shared pool so a registry-wide device sweep
+    saturates [Pool.jobs pool] domains even when each per-device space is
+    small. Phases:
+
+    + evaluate every config's baselines (Seq, Pipe — or the whole space
+      when that config has [prune = false]) in one combined pool map;
+    + derive {!Tytra_cost.Bounds} for each replicated candidate from its
+      config's Pipe report; candidates whose resource lower bound
+      overflows the device are recorded as {!Overflow} without lowering;
+    + rounds: each active config re-checks its pending candidates against
+      its current incumbent (recording {!Dominated} prunes), then
+      contributes its most-promising survivors (highest EKIT upper bound
+      first) to a combined wave of at most [Pool.jobs pool] evaluations.
+
+    For a fixed config the surviving *set* may depend on [jobs] (a wider
+    wave evaluates candidates a later incumbent would have pruned), but
+    [best] and [pareto] over the survivors are invariant — equal to the
+    exhaustive sweep's for every [jobs] value. *)
+let sweep_many ~pool (configs : config list) (prog : Expr.program) :
+    sweep list =
+  let prog_key = program_digest prog in
+  let states_with_variants =
+    List.map
+      (fun config ->
+        let variants =
+          Transform.enumerate ~max_lanes:config.max_lanes
+            ~max_vec:config.max_vec prog
+        in
+        let st =
+          {
+            st_config = config;
+            st_prog_key = prog_key;
+            st_space = List.length variants;
+            st_done = [];
+            st_bounded = [];
+            st_queue = [];
+            st_incumbent = None;
+          }
+        in
+        (st, List.mapi (fun i v -> (i, v)) variants))
+      configs
+  in
+  (* Phase 1: baselines. Replication bounds derive from the Pipe report,
+     so Seq and Pipe (pes < 2) are always evaluated in full; with
+     pruning off the whole space is a "baseline". *)
+  let baseline_items =
+    List.concat_map
+      (fun (st, indexed) ->
+        List.filter_map
+          (fun (i, v) ->
+            if (not st.st_config.prune) || Transform.pes v < 2 then
+              Some (st, i, v)
+            else None)
+          indexed)
+      states_with_variants
+  in
+  eval_wave ~pool prog baseline_items;
+  (* Phase 2: bounds. *)
+  let forced =
+    List.concat_map
+      (fun (st, indexed) ->
+        if not st.st_config.prune then []
+        else
+          let candidates =
+            List.filter (fun (_, v) -> Transform.pes v >= 2) indexed
+          in
+          let pipe =
+            List.find_map
+              (fun (_, p) ->
+                if p.dp_variant = Transform.Pipe then Some p.dp_report
+                else None)
+              st.st_done
+          in
+          match pipe with
+          | None ->
+              (* No Pipe baseline in the space (cannot happen with the
+                 current enumerator): fall back to exhaustive. *)
+              List.map (fun (i, v) -> (st, i, v)) candidates
+          | Some baseline ->
+              let queue =
+                List.filter_map
+                  (fun (i, v) ->
+                    let b =
+                      Tytra_cost.Bounds.of_baseline ~device:st.st_config.device
+                        ~form:st.st_config.form ~pes:(Transform.pes v) baseline
+                    in
+                    if not b.Tytra_cost.Bounds.b_fits then begin
+                      record_bounded st i v b Overflow;
+                      None
+                    end
+                    else Some (i, v, b))
+                  candidates
+              in
+              st.st_queue <-
+                List.sort
+                  (fun (i1, _, b1) (i2, _, b2) ->
+                    let c =
+                      compare b2.Tytra_cost.Bounds.b_ekit_ub
+                        b1.Tytra_cost.Bounds.b_ekit_ub
+                    in
+                    if c <> 0 then c else compare i1 i2)
+                  queue;
+              [])
+      states_with_variants
+  in
+  eval_wave ~pool prog forced;
+  (* Phase 3: incumbent-pruned waves. *)
+  let states = List.map fst states_with_variants in
+  let rec rounds () =
+    let active = List.filter (fun st -> st.st_queue <> []) states in
+    if active <> [] then begin
+      let quota =
+        max 1 (Tytra_exec.Pool.jobs pool / List.length active)
+      in
+      let wave =
+        List.concat_map
+          (fun st ->
+            let pruned, rest =
+              List.partition (fun (_, _, b) -> prunable st b) st.st_queue
+            in
+            List.iter (fun (i, v, b) -> record_bounded st i v b Dominated)
+              pruned;
+            let take, keep = take_n quota rest in
+            st.st_queue <- keep;
+            List.map (fun (i, v, _) -> (st, i, v)) take)
+          active
+      in
+      eval_wave ~pool prog wave;
+      rounds ()
+    end
+  in
+  rounds ();
+  List.map
+    (fun st ->
+      let by_index (i1, _) (i2, _) = compare i1 i2 in
+      let bounded = List.sort by_index st.st_bounded |> List.map snd in
+      let n_reason r =
+        List.length (List.filter (fun b -> b.bp_reason = r) bounded)
+      in
+      {
+        sw_points = List.sort by_index st.st_done |> List.map snd;
+        sw_bounded = bounded;
+        sw_stats =
+          {
+            ss_space = st.st_space;
+            ss_evaluated = List.length st.st_done;
+            ss_pruned_resource = n_reason Overflow;
+            ss_pruned_incumbent = n_reason Dominated;
+          };
+      })
+    states
+
+(* ------------------------------------------------------------------ *)
 (* Exploration                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(** [explore ?config prog] — enumerate the reshaping design space of
-    [prog], lower every variant and run the full cost model on each,
-    fanned out over [config.jobs] domains. This is the fast evaluation
-    loop whose per-variant latency the paper benchmarks at ~0.3 s (we
-    measure it in experiment E5). Results are in enumeration order and
-    identical for every [jobs] value. *)
-let explore ?(config = default_config) (prog : Expr.program) : point list =
+(** [explore_sweep ?config prog] — sweep the reshaping design space of
+    [prog]: full reports for the surviving points plus the bound records
+    of every pruned candidate. *)
+let explore_sweep ?(config = default_config) (prog : Expr.program) : sweep =
   Tytra_telemetry.Span.with_ ~name:"dse.explore"
     ~attrs:
       [ ("kernel", Tytra_telemetry.Span.Str prog.Expr.p_kernel.Expr.k_name);
         ("max_lanes", Tytra_telemetry.Span.Int config.max_lanes);
         ("max_vec", Tytra_telemetry.Span.Int config.max_vec);
-        ("jobs", Tytra_telemetry.Span.Int config.jobs) ]
+        ("jobs", Tytra_telemetry.Span.Int config.jobs);
+        ("prune", Tytra_telemetry.Span.Str (string_of_bool config.prune)) ]
   @@ fun () ->
-  let prog_key = program_digest prog in
-  let variants =
-    Transform.enumerate ~max_lanes:config.max_lanes ~max_vec:config.max_vec
-      prog
-  in
-  let pts =
+  let sw =
     Tytra_exec.Pool.with_pool ~jobs:config.jobs (fun pool ->
-        Tytra_exec.Pool.map pool (eval_point ~config ~prog_key prog) variants)
+        match sweep_many ~pool [ config ] prog with
+        | [ sw ] -> sw
+        | _ -> assert false)
   in
   Log.info (fun m ->
-      m "explored %d variants of %s (max_lanes %d, jobs %d)" (List.length pts)
-        prog.Expr.p_kernel.Expr.k_name config.max_lanes config.jobs);
-  pts
+      m "explored %s (max_lanes %d, jobs %d): %a"
+        prog.Expr.p_kernel.Expr.k_name config.max_lanes config.jobs
+        pp_sweep_stats sw.sw_stats);
+  sw
+
+(** [explore ?config prog] — evaluated points of {!explore_sweep}, in
+    enumeration order. With [config.prune] off this is the exhaustive
+    sweep (identical for every [jobs] value); with pruning on it returns
+    the survivors, whose {!best} and {!pareto} equal the exhaustive
+    sweep's. *)
+let explore ?(config = default_config) (prog : Expr.program) : point list =
+  (explore_sweep ~config prog).sw_points
 
 (** [best points] — the highest-EKIT variant among those that fit the
     device (the automated selection of Fig 1's "Selected Variant-X"). *)
@@ -165,26 +438,44 @@ let best (points : point list) : point option =
     None points
 
 (** [pareto points] — the EKIT/ALUT Pareto front: no retained point is
-    beaten on both throughput and area by another valid point. *)
+    beaten on both throughput and area by another valid point.
+
+    Sort-and-scan, O(n log n): order the valid points by (area asc, EKIT
+    desc); a point is on the front iff it has the top EKIT of its area
+    group and beats the best EKIT seen at any strictly smaller area.
+    Equal (area, EKIT) duplicates are all retained, and the front comes
+    back in input order — both exactly as the quadratic
+    reference-by-definition filter behaves (the randomized test in
+    [test_dse.ml] pins that equivalence). *)
 let pareto (points : point list) : point list =
-  let area p =
-    p.dp_report.Tytra_cost.Report.rp_estimate.Tytra_cost.Resource_model.est_usage
-      .Tytra_device.Resources.aluts
-  in
   let valid_pts = List.filter valid points in
-  let front =
-    List.filter
-      (fun p ->
-        not
-          (List.exists
-             (fun q ->
-               q != p
-               && ekit q >= ekit p
-               && area q <= area p
-               && (ekit q > ekit p || area q < area p))
-             valid_pts))
-      valid_pts
-  in
+  let arr = Array.of_list valid_pts in
+  let n = Array.length arr in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = compare (area arr.(i)) (area arr.(j)) in
+      if c <> 0 then c
+      else
+        let c = compare (ekit arr.(j)) (ekit arr.(i)) in
+        if c <> 0 then c else compare i j)
+    order;
+  let keep = Array.make n false in
+  let best_prev = ref neg_infinity in
+  let i = ref 0 in
+  while !i < n do
+    let a = area arr.(order.(!i)) in
+    let j = ref !i in
+    while !j < n && area arr.(order.(!j)) = a do incr j done;
+    let group_max = ekit arr.(order.(!i)) in
+    for k = !i to !j - 1 do
+      let e = ekit arr.(order.(k)) in
+      if e = group_max && e > !best_prev then keep.(order.(k)) <- true
+    done;
+    if group_max > !best_prev then best_prev := group_max;
+    i := !j
+  done;
+  let front = List.filteri (fun i _ -> keep.(i)) valid_pts in
   Tytra_telemetry.Metrics.set "dse.pareto_front_size"
     (float_of_int (List.length front));
   front
@@ -226,21 +517,28 @@ let guided ?(config = default_config) (prog : Expr.program) : point list =
     of [devices] (default: the whole registry) and return per-device
     results plus the overall best (device, point) — "performance
     portability" made concrete: the same high-level program, retargeted
-    by swapping the one-time device description and calibration. Each
-    per-device sweep runs on the evaluation pool. *)
+    by swapping the one-time device description and calibration. All
+    per-device sweeps are interleaved on one shared evaluation pool
+    ({!sweep_many}), so the registry-wide sweep saturates [config.jobs]
+    domains instead of running devices one after another. *)
 let explore_devices ?(config = default_config)
     ?(devices = Tytra_device.Device.all) (prog : Expr.program) :
     (Tytra_device.Device.t * point list) list
     * (Tytra_device.Device.t * point) option =
+  Tytra_telemetry.Span.with_ ~name:"dse.explore_devices"
+    ~attrs:
+      [ ("kernel", Tytra_telemetry.Span.Str prog.Expr.p_kernel.Expr.k_name);
+        ("devices", Tytra_telemetry.Span.Int (List.length devices));
+        ("jobs", Tytra_telemetry.Span.Int config.jobs) ]
+  @@ fun () ->
+  let sweeps =
+    Tytra_exec.Pool.with_pool ~jobs:config.jobs (fun pool ->
+        sweep_many ~pool
+          (List.map (fun device -> { config with device }) devices)
+          prog)
+  in
   let per_device =
-    List.map
-      (fun device ->
-        Tytra_telemetry.Span.with_ ~name:"dse.device"
-          ~attrs:
-            [ ("device",
-               Tytra_telemetry.Span.Str device.Tytra_device.Device.dev_name) ]
-          (fun () -> (device, explore ~config:{ config with device } prog)))
-      devices
+    List.map2 (fun device sw -> (device, sw.sw_points)) devices sweeps
   in
   let best_overall =
     List.fold_left
@@ -262,25 +560,3 @@ let pp_point fmt (p : point) =
     (if valid p then "fits " else "OVER ")
     (Tytra_cost.Throughput.limiter_to_string
        p.dp_report.Tytra_cost.Report.rp_breakdown.Tytra_cost.Throughput.bd_limiter)
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated optional-argument entry points (one release of grace)    *)
-(* ------------------------------------------------------------------ *)
-
-let explore_legacy ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
-    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16)
-    ?(max_vec = 1) prog =
-  explore
-    ~config:{ default_config with device; calib; form; nki; max_lanes; max_vec }
-    prog
-
-let guided_legacy ?(device = Tytra_device.Device.stratixv_gsd8) ?calib
-    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 64) prog =
-  guided ~config:{ default_config with device; calib; form; nki; max_lanes }
-    prog
-
-let explore_devices_legacy ?(devices = Tytra_device.Device.all)
-    ?(form = Tytra_cost.Throughput.FormB) ?(nki = 1) ?(max_lanes = 16) prog =
-  explore_devices
-    ~config:{ default_config with form; nki; max_lanes }
-    ~devices prog

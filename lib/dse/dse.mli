@@ -3,7 +3,16 @@
     Public interface of [Tytra_dse.Dse]. A sweep is parameterized by one
     {!config} value; evaluation fans out over a {!Tytra_exec.Pool} and
     memoizes (program, variant, device, calibration, form, nki) points in
-    a process-wide {!Tytra_exec.Cache}. *)
+    a process-wide {!Tytra_exec.Cache}.
+
+    With [config.prune] on (the default) the sweep skips full lowering
+    for candidates whose {!Tytra_cost.Bounds} prove they cannot fit the
+    device or cannot beat an already-evaluated incumbent. Pruning is
+    exact with respect to selection: {!best} and {!pareto} over the
+    returned points equal those of the exhaustive ([prune = false])
+    sweep. The surviving point {e set} may vary with [config.jobs]
+    (wider evaluation waves see a later incumbent); tests that compare
+    raw point lists across [jobs] values should set [prune = false]. *)
 
 (** One evaluated design point. *)
 type point = {
@@ -18,6 +27,9 @@ val ekit : point -> float
 val valid : point -> bool
 (** Does the point fit on its device? *)
 
+val area : point -> int
+(** ALUT usage of the point — the area axis of the Pareto front. *)
+
 (** Sweep parameters. Build one with record update on
     {!default_config}: [{ default_config with jobs = 8; max_lanes = 32 }]. *)
 type config = {
@@ -30,21 +42,62 @@ type config = {
   max_vec : int;                    (** vectorization bound of the space *)
   jobs : int;                       (** evaluation-pool domains; 1 = seq *)
   use_cache : bool;                 (** memoize point evaluations *)
+  prune : bool;                     (** bound-based pruning of the space *)
 }
 
 val default_config : config
 (** Stratix-V GSD8, device calibration, form B, [nki = 1],
-    [max_lanes = 16], [max_vec = 1], [jobs = 1], caching on. *)
+    [max_lanes = 16], [max_vec = 1], [jobs = 1], caching and pruning
+    on. *)
+
+(** {2 Sweeps} *)
+
+(** Why a candidate was skipped without lowering. *)
+type prune_reason =
+  | Overflow   (** resource lower bound exceeds the device *)
+  | Dominated  (** EKIT upper bound below an incumbent of no more area *)
+
+val prune_reason_to_string : prune_reason -> string
+
+(** A candidate skipped by the pruner, with the bounds that justify it. *)
+type bounded = {
+  bp_variant : Tytra_front.Transform.variant;
+  bp_bounds : Tytra_cost.Bounds.t;
+  bp_reason : prune_reason;
+}
+
+type sweep_stats = {
+  ss_space : int;             (** variants enumerated *)
+  ss_evaluated : int;         (** full lower + cost evaluations performed *)
+  ss_pruned_resource : int;   (** skipped: could not fit *)
+  ss_pruned_incumbent : int;  (** skipped: could not beat the incumbent *)
+}
+
+val pp_sweep_stats : Format.formatter -> sweep_stats -> unit
+
+(** Result of one sweep: fully evaluated points, pruned candidates, and
+    the evaluation accounting. *)
+type sweep = {
+  sw_points : point list;     (** evaluated points, enumeration order *)
+  sw_bounded : bounded list;  (** pruned candidates, enumeration order *)
+  sw_stats : sweep_stats;
+}
+
+val explore_sweep : ?config:config -> Tytra_front.Expr.program -> sweep
+(** Sweep the whole variant space, pruning per [config.prune]. *)
 
 val explore : ?config:config -> Tytra_front.Expr.program -> point list
-(** Evaluate the whole variant space. Results are in enumeration order
-    and identical for every [config.jobs] value. *)
+(** Evaluated points of {!explore_sweep}, in enumeration order. With
+    [config.prune = false] this is the exhaustive sweep, identical for
+    every [config.jobs] value. *)
 
 val best : point list -> point option
 (** Highest-EKIT point that fits the device, if any. *)
 
 val pareto : point list -> point list
-(** The EKIT/ALUT Pareto front of the valid points. *)
+(** The EKIT/ALUT Pareto front of the valid points, in input order.
+    O(n log n) sort-and-scan; equal (area, EKIT) duplicates are all
+    retained. *)
 
 val guided : ?config:config -> Tytra_front.Expr.program -> point list
 (** Follow-the-limiter search: double lanes while compute-limited and
@@ -57,7 +110,8 @@ val explore_devices :
   (Tytra_device.Device.t * point list) list
   * (Tytra_device.Device.t * point) option
 (** Per-device sweeps ([config.device] is overridden by each element of
-    [devices]) plus the overall winner. *)
+    [devices]) plus the overall winner. All devices share one evaluation
+    pool, so the registry-wide sweep saturates [config.jobs] domains. *)
 
 val pp_point : Format.formatter -> point -> unit
 
@@ -67,36 +121,3 @@ val cache_stats : unit -> Tytra_exec.Cache.stats
 val cache_hit_rate : unit -> float
 val clear_cache : unit -> unit
 (** Drop all memoized evaluations and reset the cache statistics. *)
-
-(** {2 Deprecated optional-argument API (removed next release)} *)
-
-val explore_legacy :
-  ?device:Tytra_device.Device.t ->
-  ?calib:Tytra_device.Bandwidth.calib ->
-  ?form:Tytra_cost.Throughput.form ->
-  ?nki:int ->
-  ?max_lanes:int ->
-  ?max_vec:int ->
-  Tytra_front.Expr.program ->
-  point list
-[@@ocaml.deprecated "use explore ~config:{ default_config with ... }"]
-
-val guided_legacy :
-  ?device:Tytra_device.Device.t ->
-  ?calib:Tytra_device.Bandwidth.calib ->
-  ?form:Tytra_cost.Throughput.form ->
-  ?nki:int ->
-  ?max_lanes:int ->
-  Tytra_front.Expr.program ->
-  point list
-[@@ocaml.deprecated "use guided ~config:{ default_config with ... }"]
-
-val explore_devices_legacy :
-  ?devices:Tytra_device.Device.t list ->
-  ?form:Tytra_cost.Throughput.form ->
-  ?nki:int ->
-  ?max_lanes:int ->
-  Tytra_front.Expr.program ->
-  (Tytra_device.Device.t * point list) list
-  * (Tytra_device.Device.t * point) option
-[@@ocaml.deprecated "use explore_devices ~config:{ default_config with ... }"]

@@ -173,6 +173,14 @@ let hit_rate t =
   let total = s.st_hits + s.st_misses in
   if total = 0 then 0.0 else float_of_int s.st_hits /. float_of_int total
 
+(** [digest_marshal v] — content digest of a pure-data value via its
+    marshalled bytes. Sound as a cache key exactly when [v] contains no
+    closures, custom blocks or mutable state observed after keying —
+    i.e. for plain algebraic data (IR designs, cost-model inputs,
+    calibrations). *)
+let digest_marshal (v : 'a) : string =
+  Digest.to_hex (Digest.string (Marshal.to_string v []))
+
 (** [digest_key parts] — a collision-resistant key from heterogeneous
     components. Parts are length-prefixed before hashing so that
     ["ab"; "c"] and ["a"; "bc"] cannot collide. *)

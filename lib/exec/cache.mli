@@ -45,3 +45,9 @@ val hit_rate : 'v t -> float
 val digest_key : string list -> string
 (** Collision-resistant hex digest of a list of key components
     (length-prefixed, so component boundaries cannot alias). *)
+
+val digest_marshal : 'a -> string
+(** Content digest of a pure-data value (via [Marshal]). Use for
+    structural keys over IR values, cost-model inputs or calibrations;
+    unsound for values containing closures or mutable state that changes
+    after keying. *)

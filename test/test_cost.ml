@@ -230,6 +230,79 @@ let test_report_evaluate () =
   Alcotest.(check bool) "report prints" true
     (String.length (Report.to_string r) > 100)
 
+(* ---- staged memoization ---- *)
+
+let test_stage_caches_hit_on_repeat () =
+  let p = Tytra_kernels.Sor.program ~im:8 ~jm:6 ~km:6 () in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  Report.clear_stage_caches ();
+  let r1 = Report.evaluate ~nki:10 d in
+  let r2 = Report.evaluate ~nki:10 d in
+  Alcotest.(check bool) "identical reports" true (r1 = r2);
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool) (name ^ " hits on repeat") true
+        (s.Tytra_exec.Cache.st_hits > 0))
+    (Report.stage_cache_stats ())
+
+(* A lane sweep re-costs one shared PE, so the per-function resource
+   stage must miss once and hit for every further PE instance. *)
+let test_resource_stage_shares_pe_across_lanes () =
+  let p = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 () in
+  Report.clear_stage_caches ();
+  List.iter
+    (fun v ->
+      ignore (Report.evaluate ~nki:10 (Tytra_front.Lower.lower p v)))
+    [ Tytra_front.Transform.Pipe; Tytra_front.Transform.ParPipe 4;
+      Tytra_front.Transform.ParPipe 8 ];
+  let s = List.assoc "cost.stage_cache.resource" (Report.stage_cache_stats ()) in
+  (* 1 + 4 + 8 PE instances share one function body: 1 miss, 12 hits *)
+  Alcotest.(check int) "one structural miss" 1 s.Tytra_exec.Cache.st_misses;
+  Alcotest.(check int) "replicas served from cache" 12
+    s.Tytra_exec.Cache.st_hits
+
+(* The inputs stage is keyed without the form, so re-evaluating under
+   another memory-execution form reuses the Table-I extraction; the
+   throughput stage must still distinguish the forms. *)
+let test_inputs_stage_shared_across_forms () =
+  let p = Tytra_kernels.Sor.program ~im:8 ~jm:6 ~km:6 () in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  Report.clear_stage_caches ();
+  let ra = Report.evaluate ~form:Throughput.FormA ~nki:10 d in
+  let rb = Report.evaluate ~form:Throughput.FormB ~nki:10 d in
+  let stats = Report.stage_cache_stats () in
+  let inputs = List.assoc "cost.stage_cache.inputs" stats in
+  Alcotest.(check int) "one inputs extraction" 1
+    inputs.Tytra_exec.Cache.st_misses;
+  Alcotest.(check int) "second form hits inputs" 1
+    inputs.Tytra_exec.Cache.st_hits;
+  let tp = List.assoc "cost.stage_cache.throughput" stats in
+  Alcotest.(check int) "forms evaluated separately" 2
+    tp.Tytra_exec.Cache.st_misses;
+  Alcotest.(check bool) "forms differ" true
+    (ra.Report.rp_breakdown.Throughput.bd_ekit
+    <> rb.Report.rp_breakdown.Throughput.bd_ekit)
+
+(* Different calibrations must not share resource-stage entries. *)
+let test_stage_cache_calibration_sensitivity () =
+  let p = Tytra_kernels.Sor.program ~im:8 ~jm:6 ~km:6 () in
+  let d = Tytra_front.Lower.lower p Tytra_front.Transform.Pipe in
+  let f = Ast.find_func_exn d "f0" in
+  Report.clear_stage_caches ();
+  let u1 = Resource_model.pe_usage d f in
+  let other =
+    { Resource_model.default_calibration with
+      Resource_model.div_aluts = [| 0.0; 0.0; 2.0 |] }
+  in
+  let u2 = Resource_model.pe_usage ~cal:other d f in
+  ignore u2;
+  let s = Resource_model.pe_cache_stats () in
+  Alcotest.(check int) "distinct calibration keys" 2
+    s.Tytra_exec.Cache.st_misses;
+  (* and the same calibration still hits *)
+  let u1' = Resource_model.pe_usage d f in
+  Alcotest.(check bool) "hit returns identical usage" true (u1 = u1')
+
 let suite =
   [
     Alcotest.test_case "polyfit interpolation" `Quick test_polyfit_exact;
@@ -259,4 +332,12 @@ let suite =
     Alcotest.test_case "walls ordering" `Quick test_walls_ordering;
     Alcotest.test_case "balance hint" `Quick test_balance_hint;
     Alcotest.test_case "full report" `Quick test_report_evaluate;
+    Alcotest.test_case "stage caches hit on repeat" `Quick
+      test_stage_caches_hit_on_repeat;
+    Alcotest.test_case "resource stage shared across lanes" `Quick
+      test_resource_stage_shares_pe_across_lanes;
+    Alcotest.test_case "inputs stage shared across forms" `Quick
+      test_inputs_stage_shared_across_forms;
+    Alcotest.test_case "stage cache calibration-sensitive" `Quick
+      test_stage_cache_calibration_sensitivity;
   ]
