@@ -222,6 +222,30 @@ let time_s f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Cumulative wall time attributed to span [name] so far, in seconds;
+   measuring a phase = subtracting two snapshots around it. Requires
+   telemetry to be enabled while the measured code runs. *)
+let span_total_s name =
+  List.fold_left
+    (fun acc (r : Tytra_telemetry.Export.row) ->
+      if r.Tytra_telemetry.Export.sr_name = name then
+        acc
+        +. (Int64.to_float r.Tytra_telemetry.Export.sr_total_ns /. 1e9)
+      else acc)
+    0.0
+    (Tytra_telemetry.Export.summary ())
+
+(* Run [f] with span recording on (restoring the previous state) and
+   return [f ()] plus the wall time spent inside span [name]. *)
+let with_span_meter name f =
+  let was = Tytra_telemetry.Control.is_enabled () in
+  Tytra_telemetry.Control.set_enabled true;
+  let before = span_total_s name in
+  let r = f () in
+  let dt = span_total_s name -. before in
+  Tytra_telemetry.Control.set_enabled was;
+  (r, dt)
+
 (* --jobs N: width of the Domain pool used by the E5 parallel sweep
    (0 = one per core). *)
 let jobs_flag = ref 1
@@ -406,7 +430,156 @@ let e8 () =
   Format.printf
     "(the bounds keep best/pareto provably exact while skipping most of the \
      64-lane space: replication beyond the bandwidth wall cannot beat the \
-     incumbent, oversize lane counts cannot fit)@."
+     incumbent, oversize lane counts cannot fit)@.";
+  (* --- IR fast path vs reference: measured, not asserted --- *)
+  Format.printf
+    "@.IR fast path (derived variants + incremental annealer) vs \
+     --no-fast-ir:@.";
+  let selection_sig sw =
+    let pts = sw.Tytra_dse.Dse.sw_points in
+    let sig_of p =
+      ( Transform.to_string p.Tytra_dse.Dse.dp_variant,
+        Tytra_dse.Dse.ekit p,
+        Tytra_dse.Dse.area p )
+    in
+    ( Option.map sig_of (Tytra_dse.Dse.best pts),
+      List.map sig_of (Tytra_dse.Dse.pareto pts) )
+  in
+  (* workload A: the exhaustive 4-kernel sweep above (every point
+     lowered and validated, nothing pruned away) — the same load whose
+     ir.validate total the committed baseline records *)
+  let sweep_all fast =
+    Tytra_ir.Fastpath.with_enabled fast (fun () ->
+        with_span_meter "ir.validate" (fun () ->
+            List.map
+              (fun (_, prog) ->
+                Tytra_dse.Dse.clear_cache ();
+                Tytra_cost.Report.clear_stage_caches ();
+                selection_sig
+                  (Tytra_dse.Dse.explore_sweep
+                     ~config:{ config with Tytra_dse.Dse.prune = false }
+                     prog))
+              kernels))
+  in
+  let sel_fast, tv_fast = sweep_all true in
+  let sel_slow, tv_slow = sweep_all false in
+  let same_sel = sel_fast = sel_slow in
+  Format.printf
+    "  ir.validate over the exhaustive sweeps: fast %.4f s, slow %.4f s -> \
+     %.2fx; best/pareto %s@."
+    tv_fast tv_slow
+    (tv_slow /. Float.max 1e-9 tv_fast)
+    (if same_sel then "identical" else "DIFFER");
+  (* workload B: the E5 placement load — 5 synthesis-grade SOR runs *)
+  let place_prog =
+    Tytra_kernels.Sor.program ~ty:(Tytra_ir.Ty.Float 32) ~im:64 ~jm:64
+      ~km:64 ()
+  in
+  let place_variants =
+    [ Transform.Pipe; Transform.ParPipe 2; Transform.ParPipe 4;
+      Transform.ParPipe 8; Transform.ParPipe 16 ]
+  in
+  let place_all fast =
+    Tytra_ir.Fastpath.with_enabled fast (fun () ->
+        with_span_meter "sim.techmap.place" (fun () ->
+            List.map
+              (fun v ->
+                let d = Lower.lower place_prog v in
+                let tm = Tytra_sim.Techmap.run ~effort:`Full d in
+                tm.Tytra_sim.Techmap.tm_avg_wire)
+              place_variants))
+  in
+  let wire_fast, tp_fast = place_all true in
+  let wire_slow, tp_slow = place_all false in
+  let same_wire = wire_fast = wire_slow in
+  Format.printf
+    "  sim.techmap.place over 5 full SOR runs: fast %.4f s, slow %.4f s -> \
+     %.2fx; placements %s@."
+    tp_fast tp_slow
+    (tp_slow /. Float.max 1e-9 tp_fast)
+    (if same_wire then "bit-identical" else "DIFFER");
+  List.iter
+    (fun (k, v) -> Tytra_telemetry.Metrics.set ("bench.e8.fastpath." ^ k) v)
+    [ ("validate_fast_s", tv_fast);
+      ("validate_slow_s", tv_slow);
+      ("validate_speedup", tv_slow /. Float.max 1e-9 tv_fast);
+      ("place_fast_s", tp_fast);
+      ("place_slow_s", tp_slow);
+      ("place_speedup", tp_slow /. Float.max 1e-9 tp_fast);
+      ("selections_identical", if same_sel then 1.0 else 0.0);
+      ("placements_identical", if same_wire then 1.0 else 0.0) ]
+
+(* ------------------------------------------------------------------ *)
+(* E9: parse+validate throughput (front-end speed microbench)          *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  hr "E9: parse+validate throughput, lines/sec over kernels x lane counts";
+  let kernels =
+    [
+      ("sor",
+       Tytra_kernels.Sor.program ~ty:(Tytra_ir.Ty.Float 32) ~im:64 ~jm:64
+         ~km:64 ());
+      ("hotspot", Tytra_kernels.Hotspot.program ~rows:64 ~cols:64 ());
+      ("lavamd", Tytra_kernels.Lavamd.program ~boxes:64 ());
+      ("srad", Tytra_kernels.Srad.program ~rows:64 ~cols:64 ());
+    ]
+  in
+  let lanes = [ 1; 4; 16; 64 ] in
+  let reps = 5 in
+  Format.printf "kernel   | lanes |  lines | parse+validate | lines/sec@.";
+  let tot_lines = ref 0 and tot_t = ref 0.0 in
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun l ->
+          let v =
+            if l = 1 then Transform.Pipe else Transform.ParPipe l
+          in
+          if Transform.applicable prog v then begin
+            let src =
+              Tytra_ir.Pprint.design_to_string (Lower.lower prog v)
+            in
+            let nlines =
+              String.fold_left
+                (fun acc c -> if c = '\n' then acc + 1 else acc)
+                0 src
+            in
+            (* warm once (symbol interning, minor heap), then measure *)
+            ignore (Tytra_ir.Validate.check (Tytra_ir.Parser.parse src));
+            let _, t =
+              time_s (fun () ->
+                  for _ = 1 to reps do
+                    let d = Tytra_ir.Parser.parse src in
+                    match Tytra_ir.Validate.check d with
+                    | [] -> ()
+                    | _ -> failwith "E9: kernel design failed validation"
+                  done)
+            in
+            let per = t /. float_of_int reps in
+            let lps = float_of_int nlines /. Float.max 1e-9 per in
+            tot_lines := !tot_lines + nlines;
+            tot_t := !tot_t +. per;
+            Format.printf "%-8s | %5d | %6d | %11.5f s | %9.0f@." name l
+              nlines per lps;
+            List.iter
+              (fun (k, x) ->
+                Tytra_telemetry.Metrics.set
+                  (Printf.sprintf "bench.e9.%s.l%d.%s" name l k)
+                  x)
+              [ ("lines", float_of_int nlines);
+                ("parse_validate_s", per);
+                ("lines_per_s", lps) ]
+          end)
+        lanes)
+    kernels;
+  Format.printf
+    "total: %d lines in %.4f s -> %.0f lines/sec aggregate@." !tot_lines
+    !tot_t
+    (float_of_int !tot_lines /. Float.max 1e-9 !tot_t);
+  Tytra_telemetry.Metrics.set "bench.e9.total_lines"
+    (float_of_int !tot_lines);
+  Tytra_telemetry.Metrics.set "bench.e9.total_s" !tot_t
 
 (* ------------------------------------------------------------------ *)
 (* E6 / Fig 17: runtime, cpu vs fpga-maxJ vs fpga-tytra                *)
@@ -864,8 +1037,8 @@ let speed () =
 (* ------------------------------------------------------------------ *)
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
-            ("e6", e6); ("e7", e7); ("e8", e8); ("a1", a1); ("a2", a2);
-            ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6) ]
+            ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("a1", a1);
+            ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6) ]
 
 (* Telemetry options: --json FILE writes a machine-readable per-phase
    report (spans + metrics), --trace FILE writes a Chrome-trace timeline
@@ -883,6 +1056,9 @@ let parse_args args =
         (match int_of_string_opt n with
         | Some j when j >= 0 -> jobs_flag := j
         | _ -> Format.eprintf "ignoring bad --jobs %S@." n);
+        go tl
+    | "--no-fast-ir" :: tl ->
+        Tytra_ir.Fastpath.set_enabled false;
         go tl
     | a :: tl -> rest := a :: !rest; go tl
   in

@@ -40,7 +40,8 @@ let log_reporter ppf =
   in
   { Logs.report }
 
-let setup_observability trace metrics verbose level =
+let setup_observability trace metrics verbose level no_fast_ir =
+  if no_fast_ir then Tytra_ir.Fastpath.set_enabled false;
   let level =
     match level with
     | Some l -> l
@@ -112,9 +113,19 @@ let observability_term =
           ~doc:"Log level: $(b,debug), $(b,info), $(b,warning), $(b,error), \
                 $(b,app) or $(b,quiet). Overrides $(b,-v).")
   in
+  let no_fast_ir_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fast-ir" ]
+          ~doc:
+            "Disable the IR fast path (derived variants, incremental \
+             annealing) and use the reference implementations; the slow \
+             twin kept for differential testing. Also: \
+             $(b,TYTRA_FAST_IR=0).")
+  in
   Term.(
     const setup_observability $ trace_arg $ metrics_arg $ verbose_arg
-    $ level_arg)
+    $ level_arg $ no_fast_ir_arg)
 
 (* Root span of one tybec subcommand. *)
 let traced name f = Tytra_telemetry.Span.with_ ~name:("tybec." ^ name) f

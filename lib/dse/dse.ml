@@ -51,6 +51,10 @@ type config = {
   jobs : int;                       (** evaluation-pool domains; 1 = seq *)
   use_cache : bool;                 (** memoize point evaluations *)
   prune : bool;                     (** bound-based pruning of the space *)
+  fast_ir : bool;
+      (** derive replicated variants from a pre-validated template
+          ({!Tytra_front.Lower.derive}); also gated by the global
+          {!Tytra_ir.Fastpath} toggle *)
 }
 
 let default_config : config =
@@ -64,6 +68,7 @@ let default_config : config =
     jobs = 1;
     use_cache = true;
     prune = true;
+    fast_ir = true;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -76,11 +81,21 @@ let default_config : config =
 let cache : (Tytra_ir.Ast.design * Tytra_cost.Report.t) Tytra_exec.Cache.t =
   Tytra_exec.Cache.create ~metrics_prefix:"dse.cache" ~capacity:4096 ()
 
+(* Pre-validated lowering templates, one per program digest: the shared
+   PE body is compiled and fully validated once per sweep; every
+   replicated variant of the same program is then derived from it and
+   only its wiring delta re-checked. Templates are small (one instruction
+   list), so a handful of entries covers any realistic sweep mix. *)
+let template_cache : Tytra_front.Lower.template Tytra_exec.Cache.t =
+  Tytra_exec.Cache.create ~metrics_prefix:"dse.template_cache" ~capacity:64 ()
+
 let cache_stats () = Tytra_exec.Cache.stats cache
 let cache_hit_rate () = Tytra_exec.Cache.hit_rate cache
 let clear_cache () =
   Tytra_exec.Cache.clear cache;
-  Tytra_exec.Cache.reset_stats cache
+  Tytra_exec.Cache.reset_stats cache;
+  Tytra_exec.Cache.clear template_cache;
+  Tytra_exec.Cache.reset_stats template_cache
 
 (* Expr programs and calibrations are pure data, so a digest of their
    marshalled bytes is a sound content key. *)
@@ -89,6 +104,21 @@ let program_digest (prog : Expr.program) = Tytra_exec.Cache.digest_marshal prog
 let calib_digest = function
   | None -> "device-default"
   | Some c -> Tytra_exec.Cache.digest_marshal c
+
+let template_for ~prog_key (prog : Expr.program) : Lower.template =
+  Tytra_exec.Cache.find_or_add template_cache
+    ~key:(Tytra_exec.Cache.digest_key [ prog_key; "lower-template" ])
+    (fun () -> Lower.template prog)
+
+(* Lower one variant: derived from the program's template on the fast
+   path, full re-lowering + re-validation otherwise. *)
+let lower_point ~(config : config) ~prog_key prog v =
+  if config.fast_ir && Tytra_ir.Fastpath.enabled () then begin
+    let d = Lower.derive (template_for ~prog_key prog) v in
+    Tytra_telemetry.Metrics.incr "dse.points_derived";
+    d
+  end
+  else Lower.lower prog v
 
 let point_key ~(config : config) ~prog_key v =
   Tytra_exec.Cache.digest_key
@@ -115,7 +145,7 @@ let eval_point ~(config : config) ~prog_key prog v =
       ]
   @@ fun () ->
   let compute () =
-    let d = Lower.lower prog v in
+    let d = lower_point ~config ~prog_key prog v in
     let report =
       Tytra_cost.Report.evaluate ~device:config.device ?calib:config.calib
         ~form:config.form ~nki:config.nki d

@@ -43,12 +43,18 @@ type config = {
   jobs : int;                       (** evaluation-pool domains; 1 = seq *)
   use_cache : bool;                 (** memoize point evaluations *)
   prune : bool;                     (** bound-based pruning of the space *)
+  fast_ir : bool;
+      (** derive replicated variants from a pre-validated template
+          ({!Tytra_front.Lower.derive}) instead of re-lowering and
+          re-validating each from scratch; also gated by the global
+          {!Tytra_ir.Fastpath} toggle ([--no-fast-ir]). Both paths
+          produce byte-identical designs. *)
 }
 
 val default_config : config
 (** Stratix-V GSD8, device calibration, form B, [nki = 1],
-    [max_lanes = 16], [max_vec = 1], [jobs = 1], caching and pruning
-    on. *)
+    [max_lanes = 16], [max_vec = 1], [jobs = 1], caching, pruning and
+    the IR fast path on. *)
 
 (** {2 Sweeps} *)
 

@@ -125,12 +125,14 @@ let kernel_params (k : Expr.kernel) : (string * Ty.t) list =
   List.map (fun s -> (s, k.Expr.k_ty)) k.Expr.k_inputs
   @ List.map (fun (p, _) -> (p, k.Expr.k_ty)) k.Expr.k_params
 
-(** [lower ?pattern p v] — build the validated IR design for variant [v]
-    of program [p]. [pattern] is the global-memory access pattern of the
-    generated streams (default contiguous; the reshaped chunks are
-    contiguous slices). *)
-let lower ?(pattern = Ast.Cont) (p : Expr.program) (v : Transform.variant) :
-    Ast.design =
+(* Shared construction for [lower] and [derive]: build the (unvalidated)
+   design for variant [v]. [f0] selects the PE-body source: [`Emit]
+   compiles the kernel datapath, [`Raw body] installs an instruction list
+   taken from an already-validated template — physically shared, so the
+   derived design pretty-prints byte-identically to a full lowering. *)
+let build_variant ~(pattern : Ast.pattern)
+    ~(f0 : [ `Emit | `Raw of Ast.instr list ]) (p : Expr.program)
+    (v : Transform.variant) : Ast.design =
   (match Expr.check_kernel p.Expr.p_kernel with
   | Ok () -> ()
   | Error e -> invalid_arg ("Lower.lower: invalid kernel: " ^ e));
@@ -179,6 +181,17 @@ let lower ?(pattern = Ast.Cont) (p : Expr.program) (v : Transform.variant) :
     lane_args.(i) <- List.map (fun s -> Ast.Var s) ins
   done;
   let main_params = List.rev !main_params in
+  let emit_f0 () =
+    match f0 with
+    | `Emit ->
+        ignore
+          (Builder.func b "f0" ~kind:Ast.Pipe ~params:(kernel_params k)
+             (fun fb -> emit_kernel_body k fb))
+    | `Raw body ->
+        ignore
+          (Builder.func_raw b "f0" ~kind:Ast.Pipe ~params:(kernel_params k)
+             body)
+  in
   (* the PE function *)
   (match v with
   | Transform.Seq ->
@@ -187,16 +200,12 @@ let lower ?(pattern = Ast.Cont) (p : Expr.program) (v : Transform.variant) :
         (Builder.func b "main" ~kind:Ast.Seq ~params:main_params
            (fun fb -> emit_kernel_body ~inline_params:true k fb))
   | Transform.Pipe ->
-      ignore
-        (Builder.func b "f0" ~kind:Ast.Pipe ~params:(kernel_params k)
-           (fun fb -> emit_kernel_body k fb));
+      emit_f0 ();
       ignore
         (Builder.func b "main" ~kind:Ast.Seq ~params:main_params (fun fb ->
              Builder.call fb "f0" (lane_args.(0) @ param_args k) Ast.Pipe))
   | Transform.ParPipe l ->
-      ignore
-        (Builder.func b "f0" ~kind:Ast.Pipe ~params:(kernel_params k)
-           (fun fb -> emit_kernel_body k fb));
+      emit_f0 ();
       (* @f1 takes every lane's input streams *)
       let f1_params =
         List.concat
@@ -222,9 +231,7 @@ let lower ?(pattern = Ast.Cont) (p : Expr.program) (v : Transform.variant) :
                @ param_args k)
                Ast.Par))
   | Transform.ParVecPipe (l, dv) ->
-      ignore
-        (Builder.func b "f0" ~kind:Ast.Pipe ~params:(kernel_params k)
-           (fun fb -> emit_kernel_body k fb));
+      emit_f0 ();
       (* @flane bundles the dv vector PEs of one lane *)
       let flane_params =
         List.concat
@@ -266,4 +273,61 @@ let lower ?(pattern = Ast.Cont) (p : Expr.program) (v : Transform.variant) :
                Ast.Par)));
   (* Seq variant needs scalar params on main's call-free body; give the
      ports-only main its parameter list including scalars *)
-  Validate.check_exn (Builder.design b)
+  Builder.design b
+
+(** [lower ?pattern p v] — build the validated IR design for variant [v]
+    of program [p]. [pattern] is the global-memory access pattern of the
+    generated streams (default contiguous; the reshaped chunks are
+    contiguous slices). *)
+let lower ?(pattern = Ast.Cont) (p : Expr.program) (v : Transform.variant) :
+    Ast.design =
+  Validate.check_exn (build_variant ~pattern ~f0:`Emit p v)
+
+(** {2 Derived variants (DESIGN.md §10)}
+
+    Every replicated variant of one program shares the same PE function
+    [@f0]; only the Manage-IR and the wiring functions ([@f1], [@flane],
+    [@main]) differ per lane count. [template] lowers and fully validates
+    the [Pipe] variant once; [derive] then builds each further variant
+    around the template's PE body — physically shared, so it
+    pretty-prints byte-identically to [lower]'s output — and re-validates
+    only the per-variant delta via {!Validate.check_delta}. *)
+
+type template = {
+  tpl_program : Expr.program;
+  tpl_pattern : Ast.pattern;
+  tpl_f0_body : Ast.instr list;  (** validated PE body, shared by reference *)
+}
+
+(** [template ?pattern p] — lower the [Pipe] variant of [p] in full
+    (including validation) and capture the PE body for reuse. *)
+let template ?(pattern = Ast.Cont) (p : Expr.program) : template =
+  let d = lower ~pattern p Transform.Pipe in
+  {
+    tpl_program = p;
+    tpl_pattern = pattern;
+    tpl_f0_body = (Ast.find_func_exn d "f0").Ast.fn_body;
+  }
+
+(** [derive tpl v] — build the design for variant [v] of the template's
+    program, reusing the pre-validated PE body and checking only the
+    per-variant delta (memory objects, streams, ports, wiring calls).
+    [Seq] variants inline scalar parameters into a different body shape,
+    so they fall back to a full {!lower}. Raises [Invalid_argument] like
+    {!lower} if the delta is invalid. *)
+let derive (tpl : template) (v : Transform.variant) : Ast.design =
+  match v with
+  | Transform.Seq -> lower ~pattern:tpl.tpl_pattern tpl.tpl_program v
+  | _ ->
+      let d =
+        build_variant ~pattern:tpl.tpl_pattern ~f0:(`Raw tpl.tpl_f0_body)
+          tpl.tpl_program v
+      in
+      (match Validate.check_delta ~trusted:[ "f0" ] d with
+      | [] -> ()
+      | errs ->
+          invalid_arg
+            (Printf.sprintf "invalid TyTra-IR design %s:\n%s" d.Ast.d_name
+               (String.concat "\n"
+                  (List.map Validate.error_to_string errs))));
+      d

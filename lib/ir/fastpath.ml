@@ -1,0 +1,36 @@
+(** Global toggle for the IR fast path (DESIGN.md §10).
+
+    The fast path covers three optimizations that have a slower,
+    independently implemented reference twin kept for differential
+    testing:
+
+    - derived replicated variants ({!Tytra_front.Lower.derive}): the
+      shared PE body is validated once per program, each lane-count
+      variant re-checks only its wiring delta;
+    - incremental delta-wirelength annealing in
+      {!Tytra_sim.Techmap.place};
+    - (always on, no twin needed at call sites:) the indexed one-pass
+      validator — its reference implementation stays callable as
+      {!Validate.check_reference}.
+
+    Defaults to enabled; disable for a run with [tybec --no-fast-ir],
+    [bench/main.exe -- --no-fast-ir] or [TYTRA_FAST_IR=0] in the
+    environment. Both paths produce byte-identical designs, selections
+    and placements — the flag exists so that equivalence stays cheap to
+    re-check. *)
+
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "TYTRA_FAST_IR" with
+    | Some ("0" | "false" | "no" | "off") -> false
+    | _ -> true)
+
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+(** [with_enabled b f] — run [f] with the toggle forced to [b], restoring
+    the previous value afterwards (used by differential tests). *)
+let with_enabled b f =
+  let prev = !enabled_ref in
+  enabled_ref := b;
+  Fun.protect ~finally:(fun () -> enabled_ref := prev) f

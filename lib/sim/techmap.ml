@@ -166,10 +166,25 @@ type placement_result = {
   pl_accepted : int;      (** accepted swaps (uphill included) *)
 }
 
-(** [place ~rng ~effort nl] runs a swap-based annealer on a √n grid. The
-    [effort] knob scales the number of passes — the main cost of a
-    tech-map run, mirroring how placement dominates vendor-tool runtime. *)
-let place ~(rng : Prng.t) ~(effort : int) (nl : netlist) : placement_result =
+(* Shared anneal bookkeeping, published once per run — never
+   per-iteration, so the hot loop carries no telemetry overhead. *)
+let publish_anneal_metrics ~moves ~accepted ~temp0 =
+  Tytra_telemetry.Metrics.add "sim.techmap.anneal.moves" (float_of_int moves);
+  Tytra_telemetry.Metrics.add "sim.techmap.anneal.accepted"
+    (float_of_int accepted);
+  Tytra_telemetry.Metrics.observe "sim.techmap.anneal.acceptance_rate"
+    (float_of_int accepted /. float_of_int (max 1 moves));
+  Tytra_telemetry.Metrics.set "sim.techmap.anneal.temp_start" temp0;
+  Tytra_telemetry.Metrics.set "sim.techmap.anneal.temp_final"
+    (temp0 /. float_of_int (max 1 moves))
+
+(** [place_reference ~rng ~effort nl] — the original annealer: every
+    move recomputes the full wirelength around both swapped cells from
+    scratch. Kept as the differential twin of {!place_incremental}
+    ([--no-fast-ir]); both consume the PRNG identically and produce the
+    same placement. *)
+let place_reference ~(rng : Prng.t) ~(effort : int) (nl : netlist) :
+    placement_result =
   let n = nl.n_cells in
   let grid = int_of_float (ceil (sqrt (float_of_int n))) in
   let pos = Array.init n (fun i -> (i mod grid, i / grid)) in
@@ -220,16 +235,7 @@ let place ~(rng : Prng.t) ~(effort : int) (nl : netlist) : placement_result =
       end
     end
   done;
-  (* anneal accounting: aggregates published once per run, never
-     per-iteration, so the hot loop carries no telemetry overhead *)
-  Tytra_telemetry.Metrics.add "sim.techmap.anneal.moves" (float_of_int moves);
-  Tytra_telemetry.Metrics.add "sim.techmap.anneal.accepted"
-    (float_of_int !accepted);
-  Tytra_telemetry.Metrics.observe "sim.techmap.anneal.acceptance_rate"
-    (float_of_int !accepted /. float_of_int (max 1 moves));
-  Tytra_telemetry.Metrics.set "sim.techmap.anneal.temp_start" temp0;
-  Tytra_telemetry.Metrics.set "sim.techmap.anneal.temp_final"
-    (temp0 /. float_of_int (max 1 moves));
+  publish_anneal_metrics ~moves ~accepted:!accepted ~temp0;
   let nedges = max 1 (Array.length nl.n_edges) in
   {
     pl_avg_wire = float_of_int !total /. float_of_int nedges;
@@ -237,6 +243,250 @@ let place ~(rng : Prng.t) ~(effort : int) (nl : netlist) : placement_result =
     pl_moves = moves;
     pl_accepted = !accepted;
   }
+
+(* How often (at most) the incremental annealer cross-checks its
+   running total against a from-scratch recompute. Wirelength is
+   integer arithmetic, so any nonzero drift is a bug; the check
+   consumes no PRNG state. The effective interval stretches with the
+   edge count so the O(edges) recompute stays a bounded fraction of
+   total anneal work on large netlists. *)
+let drift_check_interval = 8192
+
+(** [place_incremental ~rng ~effort nl] — delta-wirelength annealing
+    (DESIGN.md §10): cached per-cell incident-length sums make the
+    before-cost of a swap two O(1) lookups, and only the edges touching
+    the two swapped cells are recomputed; a periodic full recompute
+    guards against drift. The data layout is tuned for the random-index
+    access pattern of annealing: each cell's position (x, y packed in
+    one int), incident-length sum and adjacency bounds live in one
+    4-int record (a single cache line), and each adjacency entry packs
+    the edge index with the far endpoint, so a degree-d move touches
+    ~2 + d lines instead of ~4 + 3d. The PRNG consumption pattern and
+    every accept decision match {!place_reference} exactly, so the
+    resulting placement (and [pl_avg_wire]) is bit-identical —
+    placement cost scales with swap locality instead of netlist size. *)
+let place_incremental ~(rng : Prng.t) ~(effort : int) (nl : netlist) :
+    placement_result =
+  let n = nl.n_cells in
+  let grid = int_of_float (ceil (sqrt (float_of_int n))) in
+  (* cell records, 4 ints per cell:
+       [4c]   packed position: x in bits 16.., y in bits 0..15
+       [4c+1] incident-length sum (the O(1) before-cost)
+       [4c+2] adjacency segment start in [adj]
+       [4c+3] adjacency segment end (exclusive) *)
+  let crec = Array.make (4 * n) 0 in
+  for i = 0 to n - 1 do
+    crec.(4 * i) <- ((i mod grid) lsl 16) lor (i / grid)
+  done;
+  let manhattan pu pv =
+    abs ((pu lsr 16) - (pv lsr 16)) + abs ((pu land 0xFFFF) - (pv land 0xFFFF))
+  in
+  let ne = Array.length nl.n_edges in
+  (* packed endpoints for the cold loops and the drift check: src in
+     bits 31.., dst in bits 0..30 — no tuple loads off the hot path *)
+  let eend = Array.make ne 0 in
+  Array.iteri (fun ei (a, b) -> eend.(ei) <- (a lsl 31) lor b) nl.n_edges;
+  let len_of ei =
+    let e = eend.(ei) in
+    manhattan crec.(4 * (e lsr 31)) crec.(4 * (e land 0x7FFFFFFF))
+  in
+  (* CSR adjacency; each entry packs (edge index lsl 31) lor far
+     endpoint, so the hot loop never consults a separate endpoint
+     table: the near endpoint is the swapped cell itself *)
+  let deg = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (a, b) ->
+      if a < n && b < n then begin
+        deg.(a + 1) <- deg.(a + 1) + 1;
+        deg.(b + 1) <- deg.(b + 1) + 1
+      end)
+    nl.n_edges;
+  let off = deg in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i + 1) + off.(i)
+  done;
+  let fill = Array.sub off 0 n in
+  let adj = Array.make off.(n) 0 in
+  Array.iteri
+    (fun ei (a, b) ->
+      if a < n && b < n then begin
+        adj.(fill.(a)) <- (ei lsl 31) lor b;
+        fill.(a) <- fill.(a) + 1;
+        adj.(fill.(b)) <- (ei lsl 31) lor a;
+        fill.(b) <- fill.(b) + 1
+      end)
+    nl.n_edges;
+  for i = 0 to n - 1 do
+    crec.((4 * i) + 2) <- off.(i);
+    crec.((4 * i) + 3) <- off.(i + 1)
+  done;
+  (* cached edge lengths — the invariant the drift check guards *)
+  let elen = Array.make ne 0 in
+  let total = ref 0 in
+  for ei = 0 to ne - 1 do
+    let l = len_of ei in
+    elen.(ei) <- l;
+    total := !total + l
+  done;
+  (* per-cell incident-length sums, kept exact by per-edge deltas on
+     commit (a self-loop counts twice, matching cost_around) *)
+  Array.iteri
+    (fun ei (a, b) ->
+      if a < n && b < n then begin
+        crec.((4 * a) + 1) <- crec.((4 * a) + 1) + elen.(ei);
+        crec.((4 * b) + 1) <- crec.((4 * b) + 1) + elen.(ei)
+      end)
+    nl.n_edges;
+  let max_deg =
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      m := max !m (off.(i + 1) - off.(i))
+    done;
+    !m
+  in
+  (* scratch for the recomputed lengths of one move's touched edges *)
+  let scratch = Array.make (max 1 (2 * max_deg)) 0 in
+  let moves = effort * n in
+  let temp0 = 4.0 +. (float_of_int grid /. 4.0) in
+  let accepted = ref 0 in
+  let delta_evals = ref 0 in
+  let drift = ref 0 in
+  (* amortize the O(edges) drift recompute: at least every
+     drift_check_interval moves on small netlists, every ~4 passes over
+     the edges on large ones *)
+  let check_every = max drift_check_interval (4 * ne) in
+  for m = 0 to moves - 1 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    if a <> b then begin
+      (* Unsafe accesses throughout the move: every index is in range
+         by construction (the safe initialisation loops above would
+         have raised otherwise). *)
+      let a4 = 4 * a and b4 = 4 * b in
+      let pa = Array.unsafe_get crec a4 in
+      let pb = Array.unsafe_get crec b4 in
+      let before =
+        Array.unsafe_get crec (a4 + 1) + Array.unsafe_get crec (b4 + 1)
+      in
+      Array.unsafe_set crec a4 pb;
+      Array.unsafe_set crec b4 pa;
+      let lo_a = Array.unsafe_get crec (a4 + 2) in
+      let hi_a = Array.unsafe_get crec (a4 + 3) in
+      let lo_b = Array.unsafe_get crec (b4 + 2) in
+      let hi_b = Array.unsafe_get crec (b4 + 3) in
+      (* after-cost: recompute only the touched edges. The near
+         endpoint's new position is already in a register (pb for a's
+         edges, pa for b's); only the far endpoint is loaded. *)
+      let after = ref 0 in
+      let s = ref 0 in
+      for k = lo_a to hi_a - 1 do
+        let po =
+          Array.unsafe_get crec (4 * (Array.unsafe_get adj k land 0x7FFFFFFF))
+        in
+        let l =
+          abs ((pb lsr 16) - (po lsr 16))
+          + abs ((pb land 0xFFFF) - (po land 0xFFFF))
+        in
+        Array.unsafe_set scratch !s l;
+        incr s;
+        after := !after + l
+      done;
+      for k = lo_b to hi_b - 1 do
+        let po =
+          Array.unsafe_get crec (4 * (Array.unsafe_get adj k land 0x7FFFFFFF))
+        in
+        let l =
+          abs ((pa lsr 16) - (po lsr 16))
+          + abs ((pa land 0xFFFF) - (po land 0xFFFF))
+        in
+        Array.unsafe_set scratch !s l;
+        incr s;
+        after := !after + l
+      done;
+      delta_evals := !delta_evals + !s;
+      let dc = !after - before in
+      let t = temp0 *. (1.0 -. (float_of_int m /. float_of_int moves)) in
+      let accept =
+        dc <= 0
+        || (t > 0.01 && Prng.float rng < exp (-.float_of_int dc /. t))
+      in
+      if accept then begin
+        (* commit: apply per-edge deltas to both caches. An edge shared
+           by a and b appears in both segments; its second visit sees a
+           zero delta, so the caches stay exact. A self-loop updates the
+           same sum twice, matching its double weight. *)
+        let s = ref 0 in
+        for k = lo_a to hi_a - 1 do
+          let entry = Array.unsafe_get adj k in
+          let ei = entry lsr 31 in
+          let l = Array.unsafe_get scratch !s in
+          incr s;
+          let dl = l - Array.unsafe_get elen ei in
+          if dl <> 0 then begin
+            Array.unsafe_set elen ei l;
+            Array.unsafe_set crec (a4 + 1)
+              (Array.unsafe_get crec (a4 + 1) + dl);
+            let o = 4 * (entry land 0x7FFFFFFF) + 1 in
+            Array.unsafe_set crec o (Array.unsafe_get crec o + dl)
+          end
+        done;
+        for k = lo_b to hi_b - 1 do
+          let entry = Array.unsafe_get adj k in
+          let ei = entry lsr 31 in
+          let l = Array.unsafe_get scratch !s in
+          incr s;
+          let dl = l - Array.unsafe_get elen ei in
+          if dl <> 0 then begin
+            Array.unsafe_set elen ei l;
+            Array.unsafe_set crec (b4 + 1)
+              (Array.unsafe_get crec (b4 + 1) + dl);
+            let o = 4 * (entry land 0x7FFFFFFF) + 1 in
+            Array.unsafe_set crec o (Array.unsafe_get crec o + dl)
+          end
+        done;
+        total := !total + dc;
+        incr accepted
+      end
+      else begin
+        (* revert *)
+        Array.unsafe_set crec a4 pa;
+        Array.unsafe_set crec b4 pb
+      end
+    end;
+    (* periodic full-recompute drift check; consumes no PRNG state *)
+    if (m + 1) mod check_every = 0 then begin
+      let fresh = ref 0 in
+      for ei = 0 to ne - 1 do
+        fresh := !fresh + len_of ei
+      done;
+      let d = abs (!fresh - !total) in
+      if d > !drift then drift := d;
+      total := !fresh
+    end
+  done;
+  publish_anneal_metrics ~moves ~accepted:!accepted ~temp0;
+  Tytra_telemetry.Metrics.add "sim.techmap.anneal.delta_evals"
+    (float_of_int !delta_evals);
+  Tytra_telemetry.Metrics.set "sim.techmap.anneal.drift"
+    (float_of_int !drift);
+  let nedges = max 1 ne in
+  {
+    pl_avg_wire = float_of_int !total /. float_of_int nedges;
+    pl_grid = grid;
+    pl_moves = moves;
+    pl_accepted = !accepted;
+  }
+
+(** [place ?fast ~rng ~effort nl] — anneal a placement of [nl]. [fast]
+    (default: the global {!Tytra_ir.Fastpath} toggle) selects the
+    incremental delta-wirelength annealer; both paths are bit-identical
+    in their result. *)
+let place ?fast ~(rng : Prng.t) ~(effort : int) (nl : netlist) :
+    placement_result =
+  let fast =
+    match fast with Some f -> f | None -> Fastpath.enabled ()
+  in
+  if fast then place_incremental ~rng ~effort nl
+  else place_reference ~rng ~effort nl
 
 (* ------------------------------------------------------------------ *)
 (* Full tech-map run                                                   *)

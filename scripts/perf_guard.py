@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: compare a fresh `bench e5 e8 --json` export
+against the committed baseline (BENCH_dse.json).
+
+Two kinds of checks, deliberately different in strictness:
+
+- structure and work counters must match EXACTLY: the set of span names,
+  and the evaluation/pruning counters (points evaluated, points pruned,
+  cost evaluations, per-kernel E8 pruning gauges). These are
+  deterministic at a fixed --jobs level (waves are synchronous and
+  Pool.map is order-preserving), so any difference means the exploration
+  itself changed, not the machine.
+
+- wall-clock span totals are RATIO-gated (default 3x): CI machines are
+  noisy, so only flag a span whose total time grew by more than the
+  gate over a baseline total worth measuring.
+
+Usage: perf_guard.py BASELINE.json CURRENT.json [--ratio 3.0]
+Exit code 0 when clean, 1 with a report on stderr otherwise.
+"""
+
+import json
+import re
+import sys
+
+# Counters that must match the baseline exactly (deterministic at fixed
+# --jobs): the quantity of exploration work, not its speed.
+EXACT_COUNTERS = [
+    "dse.points_evaluated",
+    "dse.points_pruned",
+    "dse.points_derived",
+    "cost.evaluations",
+    "sim.techmap.runs",
+    "sim.cyclesim.runs",
+]
+
+# Integer-valued E8 gauges recording the pruning outcome per kernel.
+EXACT_GAUGE_RE = re.compile(
+    r"^bench\.e8\.[a-z]+\.(space|evals_exhaustive|evals_pruned"
+    r"|pruned_resource|pruned_incumbent)$"
+)
+
+# Fast-path equivalence flags: 1.0 means fast and --no-fast-ir agreed.
+IDENTITY_GAUGES = [
+    "bench.e8.fastpath.selections_identical",
+    "bench.e8.fastpath.placements_identical",
+]
+
+# Ignore spans whose baseline total is below this when ratio-gating:
+# sub-50ms totals are dominated by scheduler noise.
+MIN_GATED_NS = 50_000_000
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    ratio = 3.0
+    for i, a in enumerate(sys.argv):
+        if a == "--ratio":
+            ratio = float(sys.argv[i + 1])
+    if len(args) != 2:
+        sys.exit(__doc__)
+    base, cur = load(args[0]), load(args[1])
+    failures = []
+
+    base_spans = {s["name"]: s for s in base.get("spans", [])}
+    cur_spans = {s["name"]: s for s in cur.get("spans", [])}
+
+    missing = sorted(set(base_spans) - set(cur_spans))
+    added = sorted(set(cur_spans) - set(base_spans))
+    if missing:
+        failures.append(f"spans missing vs baseline: {', '.join(missing)}")
+    if added:
+        failures.append(f"spans not in baseline: {', '.join(added)}")
+
+    for name, bs in sorted(base_spans.items()):
+        cs = cur_spans.get(name)
+        if cs is None or bs["total_ns"] < MIN_GATED_NS:
+            continue
+        r = cs["total_ns"] / bs["total_ns"]
+        if r > ratio:
+            failures.append(
+                f"span {name}: total {cs['total_ns']/1e9:.3f}s is "
+                f"{r:.2f}x the baseline {bs['total_ns']/1e9:.3f}s "
+                f"(gate {ratio:.1f}x)"
+            )
+
+    base_counters = base.get("metrics", {}).get("counters", {})
+    cur_counters = cur.get("metrics", {}).get("counters", {})
+    for key in EXACT_COUNTERS:
+        b, c = base_counters.get(key), cur_counters.get(key)
+        if b != c:
+            failures.append(f"counter {key}: baseline {b}, current {c}")
+
+    base_gauges = base.get("metrics", {}).get("gauges", {})
+    cur_gauges = cur.get("metrics", {}).get("gauges", {})
+    for key in sorted(set(base_gauges) | set(cur_gauges)):
+        if not EXACT_GAUGE_RE.match(key):
+            continue
+        b, c = base_gauges.get(key), cur_gauges.get(key)
+        if b != c:
+            failures.append(f"gauge {key}: baseline {b}, current {c}")
+
+    for key in IDENTITY_GAUGES:
+        if cur_gauges.get(key) != 1.0:
+            failures.append(
+                f"gauge {key}: expected 1.0 (fast path and --no-fast-ir "
+                f"must agree), got {cur_gauges.get(key)}"
+            )
+
+    if failures:
+        print("perf guard FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    n_spans = len(base_spans)
+    n_exact = len(EXACT_COUNTERS) + sum(
+        1 for k in base_gauges if EXACT_GAUGE_RE.match(k)
+    )
+    print(
+        f"perf guard OK: {n_spans} spans ratio-gated at {ratio:.1f}x, "
+        f"{n_exact} work counters exact, fast path equivalent"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("exec", Test_exec.suite);
       ("dse", Test_dse.suite);
+      ("fastpath", Test_fastpath.suite);
       ("streambench", Test_streambench.suite);
       ("robustness", Test_robustness.suite);
       ("integration", Test_integration.suite);
