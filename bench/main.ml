@@ -507,7 +507,76 @@ let e8 () =
       ("place_slow_s", tp_slow);
       ("place_speedup", tp_slow /. Float.max 1e-9 tp_fast);
       ("selections_identical", if same_sel then 1.0 else 0.0);
-      ("placements_identical", if same_wire then 1.0 else 0.0) ]
+      ("placements_identical", if same_wire then 1.0 else 0.0) ];
+  (* --- resilience overhead on the clean path: measured, not asserted.
+     jobs = 1 keeps the measurement free of domain-scheduling jitter;
+     the retry wrapper and checkpoint writes cost the same per point
+     either way. --- *)
+  Format.printf
+    "@.resilience overhead (exhaustive sequential SOR sweep, no faults \
+     injected):@.";
+  let resilient_sweep extra =
+    Tytra_dse.Dse.clear_cache ();
+    Tytra_cost.Report.clear_stage_caches ();
+    time_s (fun () ->
+        Tytra_dse.Dse.explore_sweep
+          ~config:(extra { config with Tytra_dse.Dse.prune = false; jobs = 1 })
+          prog)
+  in
+  let ckpt_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tytra_bench_e8_ckpt.%d" (Unix.getpid ()))
+  in
+  let clean = Fun.id in
+  let retrying c =
+    { c with Tytra_dse.Dse.max_attempts = 3; fail_fast = false }
+  in
+  let checkpointing c =
+    { (retrying c) with Tytra_dse.Dse.checkpoint = Some ckpt_path }
+  in
+  (* interleave the configurations across rounds (taking each one's best)
+     so machine drift hits all three equally *)
+  ignore (resilient_sweep clean);
+  let best = Array.make 3 infinity in
+  for _ = 1 to 3 do
+    List.iteri
+      (fun i extra -> best.(i) <- min best.(i) (snd (resilient_sweep extra)))
+      [ clean; retrying; checkpointing ]
+  done;
+  let t_clean = best.(0) and t_res = best.(1) and t_ckpt = best.(2) in
+  (* count the writes in a separate untimed run, with telemetry forced
+     on (the timed runs above must not pay for it) *)
+  let writes =
+    Tytra_telemetry.Control.with_enabled true (fun () ->
+        let before =
+          Option.value ~default:0.0
+            (Tytra_telemetry.Metrics.counter_value "dse.checkpoint.writes")
+        in
+        ignore (resilient_sweep checkpointing);
+        Option.value ~default:0.0
+          (Tytra_telemetry.Metrics.counter_value "dse.checkpoint.writes")
+        -. before)
+  in
+  (if Sys.file_exists ckpt_path then Sys.remove ckpt_path);
+  let pct extra = 100.0 *. (extra -. t_clean) /. Float.max 1e-9 t_clean in
+  let per_write_ms =
+    1000.0 *. (t_ckpt -. t_res) /. Float.max 1.0 writes
+  in
+  Format.printf
+    "  clean %.4f s | retries+quarantine %.4f s (%+.2f%%, target < 2%%) | + \
+     checkpoints %.4f s (%.0f writes, %.1f ms/write)@."
+    t_clean t_res (pct t_res) t_ckpt writes per_write_ms;
+  Format.printf
+    "  (a checkpoint write costs a fixed Marshal+rename; it amortizes below \
+     the 2%% target whenever a checkpoint interval evaluates for longer \
+     than ~50x the write, which any synthesis-grade sweep does)@.";
+  List.iter
+    (fun (k, v) -> Tytra_telemetry.Metrics.set ("bench.e8.resilience." ^ k) v)
+    [ ("clean_s", t_clean);
+      ("resilient_s", t_res);
+      ("checkpoint_s", t_ckpt);
+      ("overhead_pct", pct t_res);
+      ("checkpoint_write_ms", per_write_ms) ]
 
 (* ------------------------------------------------------------------ *)
 (* E9: parse+validate throughput (front-end speed microbench)          *)

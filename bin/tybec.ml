@@ -130,10 +130,53 @@ let observability_term =
 (* Root span of one tybec subcommand. *)
 let traced name f = Tytra_telemetry.Span.with_ ~name:("tybec." ^ name) f
 
+(* ---- exit codes ----
+
+   Distinct and documented (README "Exit codes"): scripts branch on
+   them. 0 = success, 1 = internal error (a bug or an unexpected
+   exception), 2 = the input could not be read or parsed, 3 = it parsed
+   but failed static validation. *)
+
+let exit_internal = 1
+let exit_parse = 2
+let exit_validation = 3
+
+type failure = { fcode : int; fmsg : string }
+
+let fail code fmt = Printf.ksprintf (fun m -> Error { fcode = code; fmsg = m }) fmt
+
+let exit_of = function
+  | Ok () -> 0
+  | Error { fcode; fmsg } ->
+      prerr_endline ("tybec: " ^ fmsg);
+      fcode
+
+(* Last line of defense for the crash-free CLI contract: anything a
+   subcommand lets escape is an internal error, reported as exit 1 —
+   never an uncaught-exception backtrace with cmdliner's exit 125. *)
+let guarded f =
+  try f ()
+  with e ->
+    let bt = Printexc.get_backtrace () in
+    prerr_endline ("tybec: internal error: " ^ Printexc.to_string e);
+    if bt <> "" then prerr_string bt;
+    exit_internal
+
 (* Typed diagnostics from the library; located "file:line:" messages
-   come for free from [Error.pp]. *)
+   come for free from [Error.pp], and the error class picks the exit
+   code. *)
 let read_design path =
-  Result.map_error Tytra_ir.Error.to_string (Tytra_ir.Parser.load_file path)
+  match Tytra_ir.Parser.load_file path with
+  | Ok d -> Ok d
+  | Error e ->
+      let code =
+        match e with
+        | Tytra_ir.Error.Invalid _ -> exit_validation
+        | Tytra_ir.Error.Lex _ | Tytra_ir.Error.Parse _ | Tytra_ir.Error.Io _
+          ->
+            exit_parse
+      in
+      Error { fcode = code; fmsg = Tytra_ir.Error.to_string e }
 
 (* ---- common args ---- *)
 
@@ -200,16 +243,11 @@ let maybe_optimize opt d =
   end
   else d
 
-let exit_of = function
-  | Ok () -> 0
-  | Error e ->
-      prerr_endline ("tybec: " ^ e);
-      1
-
 (* ---- check ---- *)
 
 let check_cmd =
   let run () file =
+    guarded @@ fun () ->
     traced "check" @@ fun () ->
     exit_of
       (Result.map
@@ -230,6 +268,7 @@ let check_cmd =
 
 let cost_cmd =
   let run () file device form nki opt calib_file =
+    guarded @@ fun () ->
     traced "cost" @@ fun () ->
     exit_of
       (Result.bind (read_design file) (fun d ->
@@ -237,7 +276,12 @@ let cost_cmd =
              (match calib_file with
              | None -> Ok None
              | Some f ->
-                 Result.map Option.some (Tytra_device.Calib_io.load f))
+                 (* a calibration file that does not parse is an input
+                    error, same class as a bad .tirl *)
+                 Result.map Option.some
+                   (Result.map_error
+                      (fun m -> { fcode = exit_parse; fmsg = m })
+                      (Tytra_device.Calib_io.load f)))
              (fun calib ->
                let d = maybe_optimize opt d in
                let r =
@@ -267,6 +311,7 @@ let synth_cmd =
       & info [ "effort" ] ~doc:"Placement effort.")
   in
   let run () file device effort opt =
+    guarded @@ fun () ->
     traced "synth" @@ fun () ->
     exit_of
       (Result.map
@@ -289,6 +334,7 @@ let synth_cmd =
 
 let sim_cmd =
   let run () file device form nki opt =
+    guarded @@ fun () ->
     traced "sim" @@ fun () ->
     let sform =
       match form with
@@ -318,6 +364,7 @@ let hdl_cmd =
       & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
   in
   let run () file dir opt =
+    guarded @@ fun () ->
     traced "hdl" @@ fun () ->
     exit_of
       (Result.map
@@ -375,7 +422,72 @@ let explore_cmd =
              The selected variant and Pareto front are identical either \
              way; this flag exists for benchmarking and verification.")
   in
-  let run () kernel size lanes device form nki jobs no_prune =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a failed point evaluation up to $(docv) times with \
+             exponential backoff before giving up on it.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Cooperative per-point deadline: an evaluation running past \
+             $(docv) seconds counts as failed (and is retried/quarantined \
+             per the other flags).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically write the evaluated points to $(docv) \
+             (atomically), so an interrupted sweep can be restarted with \
+             $(b,--resume).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Points evaluated between checkpoint writes.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by $(b,--checkpoint): \
+             already-evaluated points are adopted without re-evaluation. \
+             The selected variant and Pareto front equal an uninterrupted \
+             run's.")
+  in
+  let best_effort_arg =
+    Arg.(
+      value & flag
+      & info [ "best-effort" ]
+          ~doc:
+            "Degraded mode: quarantine points that still fail after \
+             $(b,--retries) and report them, instead of aborting the \
+             sweep at the first failure (the $(b,--fail-fast) default).")
+  in
+  let fail_fast_arg =
+    (* The default; exists so scripts can spell the policy explicitly. *)
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:
+            "Abort the sweep at the first point that fails after its \
+             retries (this is the default; opposite of $(b,--best-effort)).")
+  in
+  let run () kernel size lanes device form nki jobs no_prune retries deadline
+      checkpoint checkpoint_every resume best_effort fail_fast =
+    guarded @@ fun () ->
     traced "explore" @@ fun () ->
     let prog =
       match kernel with
@@ -385,38 +497,63 @@ let explore_cmd =
       | `Srad -> Tytra_kernels.Srad.program ~rows:size ~cols:size ()
     in
     let jobs = if jobs = 0 then Tytra_exec.Pool.default_jobs () else jobs in
-    let config =
-      { Tytra_dse.Dse.default_config with device; form; nki;
-        max_lanes = lanes; jobs; prune = not no_prune }
-    in
-    let sw = Tytra_dse.Dse.explore_sweep ~config prog in
-    let pts = sw.Tytra_dse.Dse.sw_points in
-    let front = Tytra_dse.Dse.pareto pts in
-    traced "report" @@ fun () ->
-    List.iter (fun p -> Format.printf "%a@." Tytra_dse.Dse.pp_point p) pts;
-    List.iter
-      (fun b ->
-        Format.printf "%-16s pruned (%s): %a@."
-          (Tytra_front.Transform.to_string b.Tytra_dse.Dse.bp_variant)
-          (Tytra_dse.Dse.prune_reason_to_string b.Tytra_dse.Dse.bp_reason)
-          Tytra_cost.Bounds.pp b.Tytra_dse.Dse.bp_bounds)
-      sw.Tytra_dse.Dse.sw_bounded;
-    Format.printf "sweep: %a@." Tytra_dse.Dse.pp_sweep_stats
-      sw.Tytra_dse.Dse.sw_stats;
-    Format.printf "pareto front: %d of %d points@." (List.length front)
-      (List.length pts);
-    (match Tytra_dse.Dse.best pts with
-    | Some b ->
-        Format.printf "selected: %s@."
-          (Tytra_front.Transform.to_string b.Tytra_dse.Dse.dp_variant)
-    | None -> Format.printf "no valid variant@.");
-    0
+    if best_effort && fail_fast then
+      exit_of
+        (fail exit_parse "--best-effort and --fail-fast are contradictory")
+    else
+      let config =
+        { Tytra_dse.Dse.default_config with device; form; nki;
+          max_lanes = lanes; jobs; prune = not no_prune;
+          max_attempts = 1 + max 0 retries; deadline_s = deadline;
+          fail_fast = not best_effort; checkpoint; checkpoint_every }
+      in
+      let restore =
+        match resume with
+        | None -> Ok None
+        | Some path -> (
+            match Tytra_dse.Dse.load_checkpoint ~path config prog with
+            | Ok pts ->
+                Format.printf "resumed %d points from %s@." (List.length pts)
+                  path;
+                Ok (Some pts)
+            | Error m -> fail exit_parse "%s" m)
+      in
+      match restore with
+      | Error f -> exit_of (Error f)
+      | Ok restore ->
+          let sw = Tytra_dse.Dse.explore_sweep ~config ?restore prog in
+          let pts = sw.Tytra_dse.Dse.sw_points in
+          let front = Tytra_dse.Dse.pareto pts in
+          traced "report" @@ fun () ->
+          List.iter (fun p -> Format.printf "%a@." Tytra_dse.Dse.pp_point p) pts;
+          List.iter
+            (fun b ->
+              Format.printf "%-16s pruned (%s): %a@."
+                (Tytra_front.Transform.to_string b.Tytra_dse.Dse.bp_variant)
+                (Tytra_dse.Dse.prune_reason_to_string b.Tytra_dse.Dse.bp_reason)
+                Tytra_cost.Bounds.pp b.Tytra_dse.Dse.bp_bounds)
+            sw.Tytra_dse.Dse.sw_bounded;
+          List.iter
+            (fun e -> Format.printf "%a@." Tytra_dse.Dse.pp_sweep_error e)
+            sw.Tytra_dse.Dse.sw_errors;
+          Format.printf "sweep: %a@." Tytra_dse.Dse.pp_sweep_stats
+            sw.Tytra_dse.Dse.sw_stats;
+          Format.printf "pareto front: %d of %d points@." (List.length front)
+            (List.length pts);
+          (match Tytra_dse.Dse.best pts with
+          | Some b ->
+              Format.printf "selected: %s@."
+                (Tytra_front.Transform.to_string b.Tytra_dse.Dse.dp_variant)
+          | None -> Format.printf "no valid variant@.");
+          0
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Design-space exploration over a built-in kernel")
     Term.(
       const run $ observability_term $ kernel_arg $ size_arg $ lanes_arg
-      $ device_arg $ form_arg $ nki_arg $ jobs_arg $ no_prune_arg)
+      $ device_arg $ form_arg $ nki_arg $ jobs_arg $ no_prune_arg
+      $ retries_arg $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg $ best_effort_arg $ fail_fast_arg)
 
 (* ---- bw ---- *)
 
@@ -429,6 +566,7 @@ let bw_cmd =
           ~doc:"Save the sweep as a calibration file for 'tybec cost --calib'.")
   in
   let run () device save =
+    guarded @@ fun () ->
     traced "bw" @@ fun () ->
     let ms = Tytra_streambench.Streambench.sweep device in
     Format.printf " side       bytes        pattern     sustained@.";
@@ -463,6 +601,7 @@ let tb_cmd =
       & info [ "seed" ] ~docv:"SEED" ~doc:"Stimulus generator seed.")
   in
   let run () file dir seed =
+    guarded @@ fun () ->
     traced "testbench" @@ fun () ->
     exit_of
       (Result.bind (read_design file) (fun d ->
@@ -497,7 +636,7 @@ let tb_cmd =
                Format.printf
                  "run with e.g.: iverilog -o tb %s %s && vvp tb@." v tb;
                Ok ()
-           | exception Invalid_argument m -> Error m))
+           | exception Invalid_argument m -> fail exit_validation "%s" m))
   in
   Cmd.v
     (Cmd.info "testbench"
@@ -542,6 +681,7 @@ let import_cmd =
           ~doc:"Write the lowered TyTra-IR here (default: stdout).")
   in
   let run () src sizes lanes ty out =
+    guarded @@ fun () ->
     traced "import" @@ fun () ->
     let result =
       try
@@ -555,10 +695,9 @@ let import_cmd =
           else Tytra_front.Transform.ParPipe lanes
         in
         if not (Tytra_front.Transform.applicable prog v) then
-          Error
-            (Printf.sprintf "%d lanes do not divide the %d-point index space"
-               lanes
-               (Tytra_front.Expr.points prog))
+          fail exit_validation
+            "%d lanes do not divide the %d-point index space" lanes
+            (Tytra_front.Expr.points prog)
         else begin
           let d = Tytra_front.Lower.lower prog v in
           (match out with
@@ -569,9 +708,8 @@ let import_cmd =
           Ok ()
         end
       with
-      | Tytra_front.Fortran.Error (m, l) ->
-          Error (Printf.sprintf "%s:%d: %s" src l m)
-      | Invalid_argument m -> Error m
+      | Tytra_front.Fortran.Error (m, l) -> fail exit_parse "%s:%d: %s" src l m
+      | Invalid_argument m -> fail exit_parse "%s" m
     in
     exit_of result
   in

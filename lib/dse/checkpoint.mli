@@ -1,0 +1,17 @@
+(** Versioned, digest-validated checkpoint files (atomic temp+rename
+    writes; every load failure is an [Error], never an exception). The
+    payload is [Marshal]ed data: a crash-recovery format for the same
+    binary, guarded by the [kind] tag and the caller's [meta] digest —
+    see [checkpoint.ml] for the failure modes the format defends
+    against. *)
+
+val save : path:string -> kind:string -> meta:string -> 'a -> unit
+(** [save ~path ~kind ~meta v] — atomically replace [path] with a
+    checkpoint of [v]. Raises [Sys_error] if the directory is not
+    writable. *)
+
+val load : path:string -> kind:string -> meta:string -> ('a, string) result
+(** [load ~path ~kind ~meta] — read a checkpoint written by {!save}
+    with the same [kind] and [meta], validating format version and
+    payload digest. Unsafe in the usual [Marshal] way if the checkpoint
+    was forged to match digests; sound for its crash-recovery purpose. *)

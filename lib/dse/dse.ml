@@ -55,6 +55,16 @@ type config = {
       (** derive replicated variants from a pre-validated template
           ({!Tytra_front.Lower.derive}); also gated by the global
           {!Tytra_ir.Fastpath} toggle *)
+  max_attempts : int;     (** attempts per point (1 = no retry) *)
+  retry_delay_s : float;  (** base backoff delay between attempts *)
+  deadline_s : float option;
+      (** cooperative per-point deadline; [None] = unbounded *)
+  fail_fast : bool;
+      (** [true]: first point failure (after retries) aborts the sweep;
+          [false]: failed points are quarantined into [sw_errors] *)
+  checkpoint : string option;
+      (** write a resumable checkpoint of the evaluated points here *)
+  checkpoint_every : int;  (** points evaluated between checkpoint writes *)
 }
 
 let default_config : config =
@@ -69,6 +79,12 @@ let default_config : config =
     use_cache = true;
     prune = true;
     fast_ir = true;
+    max_attempts = 1;
+    retry_delay_s = 0.05;
+    deadline_s = None;
+    fail_fast = true;
+    checkpoint = None;
+    checkpoint_every = 32;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -188,19 +204,40 @@ type sweep_stats = {
   ss_evaluated : int;         (** full lower + cost evaluations performed *)
   ss_pruned_resource : int;   (** skipped: could not fit *)
   ss_pruned_incumbent : int;  (** skipped: could not beat the incumbent *)
+  ss_restored : int;          (** taken from a resume checkpoint, not evaluated *)
+  ss_failed : int;            (** quarantined after exhausting retries *)
 }
 
+(* Restored/failed counts appear only when nonzero, so the stats line of
+   a clean, non-resumed sweep is byte-identical to what it always was. *)
 let pp_sweep_stats fmt s =
   Format.fprintf fmt "%d variants: %d evaluated, %d pruned (%d overflow, %d dominated)"
     s.ss_space s.ss_evaluated
     (s.ss_pruned_resource + s.ss_pruned_incumbent)
-    s.ss_pruned_resource s.ss_pruned_incumbent
+    s.ss_pruned_resource s.ss_pruned_incumbent;
+  if s.ss_restored > 0 then Format.fprintf fmt ", %d restored" s.ss_restored;
+  if s.ss_failed > 0 then Format.fprintf fmt ", %d failed" s.ss_failed
 
-(** Result of one sweep: fully evaluated points, pruned candidates, and
-    the evaluation accounting. *)
+(** A candidate whose evaluation failed after exhausting its retry
+    budget; quarantined so the rest of the sweep can proceed. *)
+type sweep_error = {
+  se_variant : Transform.variant;
+  se_error : Tytra_exec.Pool.task_error;
+}
+
+let pp_sweep_error fmt e =
+  Format.fprintf fmt "%-16s failed: %a"
+    (Transform.to_string e.se_variant)
+    Tytra_exec.Pool.pp_task_error e.se_error
+
+(** Result of one sweep: fully evaluated points, pruned candidates,
+    quarantined failures, and the evaluation accounting. *)
 type sweep = {
   sw_points : point list;     (** evaluated points, enumeration order *)
   sw_bounded : bounded list;  (** pruned candidates, enumeration order *)
+  sw_errors : sweep_error list;
+      (** failed candidates, enumeration order; empty on the fail-fast
+          path (the first failure raises instead) *)
   sw_stats : sweep_stats;
 }
 
@@ -213,6 +250,8 @@ type sweep_state = {
   st_space : int;
   mutable st_done : (int * point) list;       (* (enumeration index, point) *)
   mutable st_bounded : (int * bounded) list;
+  mutable st_errors : (int * sweep_error) list;
+  mutable st_restored : int;                  (* of st_done, from a checkpoint *)
   mutable st_queue : (int * Transform.variant * Tytra_cost.Bounds.t) list;
       (* pending candidates, sorted by (ekit_ub desc, index asc) *)
   mutable st_incumbent : (float * int) option; (* (ekit, area) of best valid *)
@@ -266,6 +305,79 @@ let eval_wave ~pool prog (items : (sweep_state * int * Transform.variant) list)
          st.st_done <- (idx, p) :: st.st_done;
          update_incumbent st p)
 
+(* Resilient twin of [eval_wave]: every point runs under the retry /
+   deadline policy, and a failure — after its retry budget — either
+   aborts the sweep (fail-fast, re-raised with the original backtrace)
+   or is quarantined into the state's error list (best-effort). *)
+let eval_wave_resilient ~pool ~retry ~deadline_s ~fail_fast prog
+    (items : (sweep_state * int * Transform.variant) list) =
+  let outcomes =
+    Tytra_exec.Pool.map_result pool ~retry ?deadline_s
+      (fun (st, idx, v) ->
+        ( st,
+          idx,
+          eval_point ~config:st.st_config ~prog_key:st.st_prog_key prog v ))
+      items
+  in
+  List.iter2
+    (fun (st, idx, v) outcome ->
+      match outcome with
+      | Ok (_, _, p) ->
+          st.st_done <- (idx, p) :: st.st_done;
+          update_incumbent st p
+      | Error te ->
+          Tytra_telemetry.Metrics.incr "dse.points_failed";
+          Log.warn (fun m ->
+              m "point %s failed: %a" (Transform.to_string v)
+                Tytra_exec.Pool.pp_task_error te);
+          st.st_errors <-
+            (idx, { se_variant = v; se_error = te }) :: st.st_errors)
+    items outcomes;
+  if fail_fast then
+    match
+      List.find_map
+        (function Error te -> Some te | Ok _ -> None)
+        outcomes
+    with
+    | Some te ->
+        Printexc.raise_with_backtrace te.Tytra_exec.Pool.te_exn
+          te.Tytra_exec.Pool.te_backtrace
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* What a checkpoint is compatible with: same program, same device /
+   calibration / form / nki and the same enumeration bounds. Execution
+   knobs (jobs, cache, prune, resilience) are deliberately excluded —
+   they change how a sweep runs, not what its points mean, so a
+   checkpoint written under one of them may resume under another. *)
+let checkpoint_meta (config : config) prog =
+  Tytra_exec.Cache.digest_key
+    [
+      program_digest prog;
+      config.device.Tytra_device.Device.dev_name;
+      calib_digest config.calib;
+      Tytra_cost.Throughput.form_to_string config.form;
+      string_of_int config.nki;
+      string_of_int config.max_lanes;
+      string_of_int config.max_vec;
+    ]
+
+let checkpoint_kind = "dse-sweep"
+
+let save_checkpoint ~path (config : config) prog (points : point list) =
+  Checkpoint.save ~path ~kind:checkpoint_kind
+    ~meta:(checkpoint_meta config prog)
+    points;
+  Tytra_telemetry.Metrics.incr "dse.checkpoint.writes"
+
+let load_checkpoint ~path (config : config) prog : (point list, string) result
+    =
+  Checkpoint.load ~path ~kind:checkpoint_kind
+    ~meta:(checkpoint_meta config prog)
+
 (** [sweep_many ~pool configs prog] — run one sweep of [prog] per config,
     interleaved on a single shared pool so a registry-wide device sweep
     saturates [Pool.jobs pool] domains even when each per-device space is
@@ -284,13 +396,24 @@ let eval_wave ~pool prog (items : (sweep_state * int * Transform.variant) list)
     For a fixed config the surviving *set* may depend on [jobs] (a wider
     wave evaluates candidates a later incumbent would have pruned), but
     [best] and [pareto] over the survivors are invariant — equal to the
-    exhaustive sweep's for every [jobs] value. *)
-let sweep_many ~pool (configs : config list) (prog : Expr.program) :
-    sweep list =
+    exhaustive sweep's for every [jobs] value.
+
+    Resilience (retries, deadlines, best-effort quarantine) is governed
+    by the {e head} config: per-config policies make no sense on one
+    shared pool. [restore] pre-fills the head config's sweep with points
+    from a checkpoint (matched by variant; they are not re-evaluated and
+    count as [ss_restored]), and [checkpoint] on the head config — only
+    honoured for single-config sweeps — persists the evaluated points
+    every [checkpoint_every] evaluations. Restored points seed the
+    incumbent, and the pruning invariant above is indifferent to {e why}
+    an incumbent exists, so a resumed sweep keeps best/pareto equal to
+    an uninterrupted one. *)
+let sweep_many ~pool ?(restore = []) (configs : config list)
+    (prog : Expr.program) : sweep list =
   let prog_key = program_digest prog in
   let states_with_variants =
-    List.map
-      (fun config ->
+    List.mapi
+      (fun ci config ->
         let variants =
           Transform.enumerate ~max_lanes:config.max_lanes
             ~max_vec:config.max_vec prog
@@ -302,12 +425,90 @@ let sweep_many ~pool (configs : config list) (prog : Expr.program) :
             st_space = List.length variants;
             st_done = [];
             st_bounded = [];
+            st_errors = [];
+            st_restored = 0;
             st_queue = [];
             st_incumbent = None;
           }
         in
-        (st, List.mapi (fun i v -> (i, v)) variants))
+        let indexed =
+          List.mapi (fun i v -> (i, v)) variants
+          |> List.filter (fun (i, v) ->
+                 (* Adopt checkpointed points (head config only) and
+                    drop them from every later phase. *)
+                 match
+                   if ci = 0 then
+                     List.find_opt (fun p -> p.dp_variant = v) restore
+                   else None
+                 with
+                 | None -> true
+                 | Some p ->
+                     st.st_done <- (i, p) :: st.st_done;
+                     st.st_restored <- st.st_restored + 1;
+                     update_incumbent st p;
+                     false)
+        in
+        (st, indexed))
       configs
+  in
+  (* Resilience policy, from the head config. The legacy [eval_wave]
+     path is kept bit-for-bit for plain sweeps: it is the hot path the
+     bench baseline pins, and its first-exception semantics *is* the
+     fail-fast contract. *)
+  let head = List.hd configs in
+  let resilient =
+    head.max_attempts > 1
+    || head.deadline_s <> None
+    || (not head.fail_fast)
+    || Tytra_exec.Faultgen.installed () <> None
+  in
+  let run_wave items =
+    if not resilient then eval_wave ~pool prog items
+    else
+      let retry =
+        {
+          Tytra_exec.Pool.default_retry with
+          max_attempts = max 1 head.max_attempts;
+          base_delay_s = head.retry_delay_s;
+        }
+      in
+      eval_wave_resilient ~pool ~retry ~deadline_s:head.deadline_s
+        ~fail_fast:head.fail_fast prog items
+  in
+  (* Checkpointing splits waves into chunks of [checkpoint_every] (but
+     never narrower than the pool) and persists after each chunk — with
+     pruning off the whole space is a single wave, and the periodic
+     write is exactly what makes a SIGKILLed exhaustive sweep
+     resumable. *)
+  let ckpt =
+    match (configs, head.checkpoint) with
+    | [ _ ], Some path -> Some path
+    | _ -> None
+  in
+  let head_state = fst (List.hd states_with_variants) in
+  let write_ckpt path =
+    let pts =
+      List.sort (fun (i1, _) (i2, _) -> compare i1 i2) head_state.st_done
+      |> List.map snd
+    in
+    save_checkpoint ~path head prog pts
+  in
+  let run_wave items =
+    match ckpt with
+    | None -> run_wave items
+    | Some path ->
+        let chunk_size =
+          max (max 1 head.checkpoint_every) (Tytra_exec.Pool.jobs pool)
+        in
+        let rec go = function
+          | [] -> ()
+          | items ->
+              let chunk, rest = take_n chunk_size items in
+              run_wave chunk;
+              write_ckpt path;
+              go rest
+        in
+        go items
   in
   (* Phase 1: baselines. Replication bounds derive from the Pipe report,
      so Seq and Pipe (pes < 2) are always evaluated in full; with
@@ -323,7 +524,7 @@ let sweep_many ~pool (configs : config list) (prog : Expr.program) :
           indexed)
       states_with_variants
   in
-  eval_wave ~pool prog baseline_items;
+  run_wave baseline_items;
   (* Phase 2: bounds. *)
   let forced =
     List.concat_map
@@ -372,7 +573,7 @@ let sweep_many ~pool (configs : config list) (prog : Expr.program) :
               [])
       states_with_variants
   in
-  eval_wave ~pool prog forced;
+  run_wave forced;
   (* Phase 3: incumbent-pruned waves. *)
   let states = List.map fst states_with_variants in
   let rec rounds () =
@@ -394,27 +595,34 @@ let sweep_many ~pool (configs : config list) (prog : Expr.program) :
             List.map (fun (i, v, _) -> (st, i, v)) take)
           active
       in
-      eval_wave ~pool prog wave;
+      run_wave wave;
       rounds ()
     end
   in
   rounds ();
+  (* Final write so a completed sweep leaves a complete checkpoint on
+     disk (a resume of it restores every point and evaluates nothing). *)
+  Option.iter write_ckpt ckpt;
   List.map
     (fun st ->
       let by_index (i1, _) (i2, _) = compare i1 i2 in
       let bounded = List.sort by_index st.st_bounded |> List.map snd in
+      let errors = List.sort by_index st.st_errors |> List.map snd in
       let n_reason r =
         List.length (List.filter (fun b -> b.bp_reason = r) bounded)
       in
       {
         sw_points = List.sort by_index st.st_done |> List.map snd;
         sw_bounded = bounded;
+        sw_errors = errors;
         sw_stats =
           {
             ss_space = st.st_space;
-            ss_evaluated = List.length st.st_done;
+            ss_evaluated = List.length st.st_done - st.st_restored;
             ss_pruned_resource = n_reason Overflow;
             ss_pruned_incumbent = n_reason Dominated;
+            ss_restored = st.st_restored;
+            ss_failed = List.length errors;
           };
       })
     states
@@ -423,10 +631,13 @@ let sweep_many ~pool (configs : config list) (prog : Expr.program) :
 (* Exploration                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(** [explore_sweep ?config prog] — sweep the reshaping design space of
-    [prog]: full reports for the surviving points plus the bound records
-    of every pruned candidate. *)
-let explore_sweep ?(config = default_config) (prog : Expr.program) : sweep =
+(** [explore_sweep ?config ?restore prog] — sweep the reshaping design
+    space of [prog]: full reports for the surviving points plus the
+    bound records of every pruned candidate. [restore] (typically from
+    {!load_checkpoint}) pre-fills the sweep with already-evaluated
+    points, which are adopted without re-evaluation. *)
+let explore_sweep ?(config = default_config) ?restore (prog : Expr.program) :
+    sweep =
   Tytra_telemetry.Span.with_ ~name:"dse.explore"
     ~attrs:
       [ ("kernel", Tytra_telemetry.Span.Str prog.Expr.p_kernel.Expr.k_name);
@@ -437,7 +648,7 @@ let explore_sweep ?(config = default_config) (prog : Expr.program) : sweep =
   @@ fun () ->
   let sw =
     Tytra_exec.Pool.with_pool ~jobs:config.jobs (fun pool ->
-        match sweep_many ~pool [ config ] prog with
+        match sweep_many ~pool ?restore [ config ] prog with
         | [ sw ] -> sw
         | _ -> assert false)
   in

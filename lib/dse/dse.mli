@@ -49,12 +49,25 @@ type config = {
           re-validating each from scratch; also gated by the global
           {!Tytra_ir.Fastpath} toggle ([--no-fast-ir]). Both paths
           produce byte-identical designs. *)
+  max_attempts : int;     (** attempts per point (1 = no retry) *)
+  retry_delay_s : float;  (** base backoff delay between attempts *)
+  deadline_s : float option;
+      (** cooperative per-point deadline; [None] = unbounded *)
+  fail_fast : bool;
+      (** [true]: first point failure (after retries) aborts the sweep
+          by re-raising it; [false]: failed points are quarantined into
+          [sw_errors] and the sweep completes degraded *)
+  checkpoint : string option;
+      (** write a resumable checkpoint of the evaluated points here
+          (single-config sweeps only; see {!save_checkpoint}) *)
+  checkpoint_every : int;  (** points evaluated between checkpoint writes *)
 }
 
 val default_config : config
 (** Stratix-V GSD8, device calibration, form B, [nki = 1],
     [max_lanes = 16], [max_vec = 1], [jobs = 1], caching, pruning and
-    the IR fast path on. *)
+    the IR fast path on; resilience off ([max_attempts = 1], no
+    deadline, fail-fast, no checkpoint). *)
 
 (** {2 Sweeps} *)
 
@@ -77,20 +90,48 @@ type sweep_stats = {
   ss_evaluated : int;         (** full lower + cost evaluations performed *)
   ss_pruned_resource : int;   (** skipped: could not fit *)
   ss_pruned_incumbent : int;  (** skipped: could not beat the incumbent *)
+  ss_restored : int;          (** taken from a resume checkpoint, not evaluated *)
+  ss_failed : int;            (** quarantined after exhausting retries *)
 }
 
 val pp_sweep_stats : Format.formatter -> sweep_stats -> unit
+(** Restored/failed counts are printed only when nonzero, so clean
+    sweeps render exactly as before. *)
 
-(** Result of one sweep: fully evaluated points, pruned candidates, and
-    the evaluation accounting. *)
+(** A candidate whose evaluation failed after exhausting its retry
+    budget; quarantined so the rest of the sweep could proceed. *)
+type sweep_error = {
+  se_variant : Tytra_front.Transform.variant;
+  se_error : Tytra_exec.Pool.task_error;
+}
+
+val pp_sweep_error : Format.formatter -> sweep_error -> unit
+
+(** Result of one sweep: fully evaluated points, pruned candidates,
+    quarantined failures, and the evaluation accounting. *)
 type sweep = {
   sw_points : point list;     (** evaluated points, enumeration order *)
   sw_bounded : bounded list;  (** pruned candidates, enumeration order *)
+  sw_errors : sweep_error list;
+      (** failed candidates, enumeration order; empty on the fail-fast
+          path (the first failure raises instead) *)
   sw_stats : sweep_stats;
 }
 
-val explore_sweep : ?config:config -> Tytra_front.Expr.program -> sweep
-(** Sweep the whole variant space, pruning per [config.prune]. *)
+val explore_sweep :
+  ?config:config -> ?restore:point list -> Tytra_front.Expr.program -> sweep
+(** Sweep the whole variant space, pruning per [config.prune].
+
+    Resilience is governed by [config]: with [max_attempts > 1] failed
+    evaluations are retried with exponential backoff; [deadline_s] arms
+    a cooperative per-point deadline; with [fail_fast = false] the sweep
+    completes in degraded mode, quarantining failures into [sw_errors]
+    ([ss_failed], [dse.points_failed] telemetry). [config.checkpoint]
+    persists evaluated points periodically ({!save_checkpoint});
+    [restore] (typically from {!load_checkpoint}) adopts previously
+    evaluated points without re-evaluating them ([ss_restored]).
+    Restored points seed the pruning incumbent, so a resumed sweep's
+    {!best} and {!pareto} equal an uninterrupted run's. *)
 
 val explore : ?config:config -> Tytra_front.Expr.program -> point list
 (** Evaluated points of {!explore_sweep}, in enumeration order. With
@@ -120,6 +161,28 @@ val explore_devices :
     pool, so the registry-wide sweep saturates [config.jobs] domains. *)
 
 val pp_point : Format.formatter -> point -> unit
+
+(** {2 Checkpoints}
+
+    Versioned, digest-validated sweep checkpoints ({!Checkpoint} is the
+    generic layer). The meta digest binds a checkpoint to its program,
+    device, calibration, form, nki and enumeration bounds — execution
+    knobs (jobs, cache, prune, resilience) are deliberately excluded, so
+    a checkpoint written under one of them may resume under another. *)
+
+val save_checkpoint :
+  path:string -> config -> Tytra_front.Expr.program -> point list -> unit
+(** Atomically write the points as a resume checkpoint for (config,
+    program); counts as [dse.checkpoint.writes] telemetry. *)
+
+val load_checkpoint :
+  path:string ->
+  config ->
+  Tytra_front.Expr.program ->
+  (point list, string) result
+(** Read a checkpoint back, validating that it belongs to (config,
+    program). Every failure — missing/corrupt/stale file — is an
+    [Error], never an exception. *)
 
 (** {2 Evaluation cache} *)
 

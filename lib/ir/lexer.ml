@@ -92,11 +92,23 @@ let tokenize (src : string) : (token * int) array =
       else ""
     in
     if has_dot || has_exp then begin
-      let v = float_of_string (intpart ^ frac ^ ex) in
+      (* [float_of_string] would crash on e.g. a bare "1e"; overflow
+         saturates to infinity, which is fine for a literal. *)
+      let v =
+        match float_of_string_opt (intpart ^ frac ^ ex) with
+        | Some v -> v
+        | None -> raise (Lex_error ("invalid numeric literal", !line))
+      in
       push (TFloat (if neg then -.v else v))
     end
     else
-      let v = int_of_string intpart in
+      (* [int_of_string] raises on literals past max_int — arbitrary
+         input must surface as a lex error, not a [Failure] crash. *)
+      let v =
+        match int_of_string_opt intpart with
+        | Some v -> v
+        | None -> raise (Lex_error ("integer literal out of range", !line))
+      in
       push (TInt (if neg then -v else v))
   in
   while !i < n do

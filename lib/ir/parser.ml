@@ -355,6 +355,18 @@ let parse_result ?name ?file src : (Ast.design, Error.t) result =
   | d -> Ok d
   | exception Parse_error (m, l) -> Result.error (Error.parse ?file m l)
   | exception Lexer.Lex_error (m, l) -> Result.error (Error.lex ?file m l)
+  | exception Stack_overflow ->
+      (* Deeply nested input blows the recursive-descent stack long
+         before it means anything; still the caller's data, not a bug. *)
+      Result.error (Error.parse ?file "input nests too deeply" 0)
+  | exception e ->
+      (* Crash-free contract on arbitrary bytes (the fuzz suite pins
+         it): anything the cases above miss is a parser bug, but it must
+         surface as a diagnostic, not a crash of the enclosing sweep. *)
+      Result.error
+        (Error.parse ?file
+           ("internal parser failure: " ^ Printexc.to_string e)
+           0)
 
 (** Parse the contents of a [.tirl] file. *)
 let parse_file path =

@@ -123,6 +123,49 @@ let test_cache_concurrent_access () =
     (List.for_all2 (fun i v -> v = i mod 32) (List.init 512 Fun.id) r);
   Alcotest.(check bool) "bounded" true (Cache.length c <= 64)
 
+let test_cache_concurrent_stats_consistent () =
+  (* hammer one cache from several domains over a key space wider than
+     its capacity; the stats must balance exactly: every lookup is a hit
+     or a miss, evictions never exceed insertions, size stays bounded *)
+  let c = Cache.create ~capacity:64 () in
+  let lookups = 4 * 600 in
+  ignore
+    (Pool.with_pool ~jobs:4 (fun p ->
+         Pool.map p
+           (fun i ->
+             let key = string_of_int ((i * 37) mod 128) in
+             Cache.find_or_add c ~key (fun () -> int_of_string key))
+           (List.init lookups Fun.id)));
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits + misses = lookups" lookups
+    (s.Cache.st_hits + s.Cache.st_misses);
+  Alcotest.(check bool) "evictions <= misses" true
+    (s.Cache.st_evictions <= s.Cache.st_misses);
+  Alcotest.(check bool) "misses cover the key space" true
+    (s.Cache.st_misses >= 128);
+  Alcotest.(check int) "size settles at capacity" 64 s.Cache.st_size;
+  Alcotest.(check int) "stats size = length" (Cache.length c) s.Cache.st_size
+
+let test_cache_concurrent_no_torn_values () =
+  (* values are structured; a torn read would surface as a tuple whose
+     halves disagree with each other or with the key *)
+  let c = Cache.create ~capacity:32 () in
+  let rs =
+    Pool.with_pool ~jobs:8 (fun p ->
+        Pool.map p
+          (fun i ->
+            let k = (i * 13) mod 80 in
+            let key = string_of_int k in
+            (k, Cache.find_or_add c ~key (fun () -> (k, k * k, key))))
+          (List.init 1600 Fun.id))
+  in
+  List.iter
+    (fun (k, (k', sq, key)) ->
+      Alcotest.(check int) "first field" k k';
+      Alcotest.(check int) "derived field" (k * k) sq;
+      Alcotest.(check string) "string field" (string_of_int k) key)
+    rs
+
 (* ---- telemetry domain-safety under the pool ---- *)
 
 let test_metrics_parallel_increments () =
@@ -179,6 +222,10 @@ let suite =
       test_digest_key_boundaries;
     Alcotest.test_case "cache concurrent access" `Quick
       test_cache_concurrent_access;
+    Alcotest.test_case "cache concurrent stats consistent" `Quick
+      test_cache_concurrent_stats_consistent;
+    Alcotest.test_case "cache concurrent no torn values" `Quick
+      test_cache_concurrent_no_torn_values;
     Alcotest.test_case "metrics domain-safe" `Quick
       test_metrics_parallel_increments;
     Alcotest.test_case "spans domain-safe" `Quick test_spans_parallel_record;

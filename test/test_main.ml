@@ -22,6 +22,8 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("exec", Test_exec.suite);
       ("dse", Test_dse.suite);
+      ("resilience", Test_resilience.suite);
+      ("fuzz", Test_fuzz.suite);
       ("fastpath", Test_fastpath.suite);
       ("streambench", Test_streambench.suite);
       ("robustness", Test_robustness.suite);
