@@ -576,7 +576,133 @@ let e8 () =
       ("resilient_s", t_res);
       ("checkpoint_s", t_ckpt);
       ("overhead_pct", pct t_res);
-      ("checkpoint_write_ms", per_write_ms) ]
+      ("checkpoint_write_ms", per_write_ms) ];
+  (* --- observability overhead on the same sweep: event log + flight
+     recorder + progress callback. Two numbers are reported:
+
+     (1) attributed overhead (the gated one): the instrumentation a live
+         sweep adds per evaluated point — the two clock reads that time
+         the point, one flight-recorder note, one point_evaluated emit
+         into a real file sink — micro-timed over enough iterations to
+         resolve it, multiplied out over the sweep's space, divided by
+         the sweep's wall time. This prices exactly the added work and
+         is reproducible to sub-percent on any host.
+
+     (2) end-to-end on-vs-off minimum floors (sanity print, not gated):
+         on a virtualized host this sweep's own wall time wanders by
+         5-8% at the seconds scale — an order of magnitude above the
+         ~0.1% effect — so a direct difference measures host drift, not
+         instrumentation. The min over interleaved single-sweep samples
+         is the most drift-resistant end-to-end summary and is printed
+         for cross-checking the attribution, nothing more.
+
+     The progress line is formatted into a buffer, not written to the
+     terminal, so the measurement prices the instrumentation rather
+     than tty I/O; progress fires once per wave (not per point), so it
+     contributes to (2) but is negligible in (1). --- *)
+  Format.printf
+    "@.observability overhead (same sweep; events + flight recorder + \
+     progress):@.";
+  let events_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tytra_bench_e8_events.%d.jsonl" (Unix.getpid ()))
+  in
+  (* only install a private event sink if the harness-wide --events one
+     is not already active (stealing it would truncate the user's file) *)
+  let own_sink = not (Tytra_telemetry.Events.active ()) in
+  let progress_buf = Buffer.create 128 in
+  let on_progress (p : Tytra_dse.Dse.progress) =
+    Buffer.clear progress_buf;
+    Buffer.add_string progress_buf
+      (Printf.sprintf "[explore] %d/%d points  pruned %d  failed %d"
+         p.Tytra_dse.Dse.pr_evaluated p.Tytra_dse.Dse.pr_space
+         p.Tytra_dse.Dse.pr_pruned p.Tytra_dse.Dse.pr_failed)
+  in
+  let space_pts = ref 0 in
+  let observed_sweep observed =
+    Tytra_dse.Dse.clear_cache ();
+    Tytra_cost.Report.clear_stage_caches ();
+    if observed then begin
+      if own_sink then Tytra_telemetry.Events.open_file events_path;
+      Tytra_dse.Flightrec.enable ()
+    end;
+    let cfg =
+      { config with
+        Tytra_dse.Dse.prune = false; jobs = 1;
+        on_progress = (if observed then Some on_progress else None) }
+    in
+    let sw = ref None in
+    let _, t =
+      time_s (fun () -> sw := Some (Tytra_dse.Dse.explore_sweep ~config:cfg prog))
+    in
+    Option.iter
+      (fun sw -> space_pts := sw.Tytra_dse.Dse.sw_stats.Tytra_dse.Dse.ss_space)
+      !sw;
+    if observed then begin
+      if own_sink then Tytra_telemetry.Events.close ();
+      Tytra_dse.Flightrec.disable ()
+    end;
+    t
+  in
+  ignore (observed_sweep false);
+  ignore (observed_sweep true);
+  let n_samples = 5 in
+  let offs = Array.make n_samples 0.0 in
+  let ons = Array.make n_samples 0.0 in
+  for i = 0 to n_samples - 1 do
+    ons.(i) <- observed_sweep true;
+    offs.(i) <- observed_sweep false
+  done;
+  let amin a = Array.fold_left min a.(0) a in
+  let t_off = amin offs and t_on = amin ons in
+  (* attributed per-point cost: exactly what the sweep's hot loop adds
+     per point when fully observed, against a real file sink *)
+  Tytra_dse.Flightrec.enable ();
+  let iters = 20_000 in
+  let per_point_sample () =
+    if own_sink then Tytra_telemetry.Events.open_file events_path;
+    let _, t =
+      time_s (fun () ->
+          for _ = 1 to iters do
+            let t0 = Tytra_telemetry.Clock.now_ns () in
+            Tytra_dse.Flightrec.note ~variant:"par8-pipe"
+              (Tytra_dse.Flightrec.Evaluated
+                 { fo_ekit = 123.5; fo_valid = true; fo_cached = false;
+                   fo_dur_ns = 1_000L });
+            let t1 = Tytra_telemetry.Clock.now_ns () in
+            Tytra_telemetry.Events.emit
+              (Tytra_telemetry.Events.Point_evaluated
+                 { variant = "par8-pipe"; ekit = 123.5; valid = true;
+                   cached = false; dur_ns = Int64.sub t1 t0 })
+          done)
+    in
+    t /. float_of_int iters
+  in
+  ignore (per_point_sample ());
+  let per_point_s =
+    min (per_point_sample ()) (min (per_point_sample ()) (per_point_sample ()))
+  in
+  if own_sink then Tytra_telemetry.Events.close ();
+  Tytra_dse.Flightrec.disable ();
+  (if own_sink && Sys.file_exists events_path then Sys.remove events_path);
+  let over_pct =
+    100.0 *. per_point_s *. float_of_int !space_pts /. Float.max 1e-9 t_off
+  in
+  Format.printf
+    "  attributed: %.2f us/point x %d points = %+.2f%% of the %.4f s sweep \
+     (target <= 2%%)@."
+    (per_point_s *. 1e6) !space_pts over_pct t_off;
+  Format.printf
+    "  end-to-end min floors: off %.4f s | on %.4f s (%+.2f%%; host noise \
+     floor is several %%, see bench/main.ml)@."
+    t_off t_on
+    (100.0 *. (t_on -. t_off) /. Float.max 1e-9 t_off);
+  List.iter
+    (fun (k, v) ->
+      Tytra_telemetry.Metrics.set ("bench.e8.observability." ^ k) v)
+    [ ("off_s", t_off); ("on_s", t_on);
+      ("per_point_us", per_point_s *. 1e6);
+      ("overhead_pct", over_pct) ]
 
 (* ------------------------------------------------------------------ *)
 (* E9: parse+validate throughput (front-end speed microbench)          *)
@@ -1110,17 +1236,21 @@ let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6) ]
 
 (* Telemetry options: --json FILE writes a machine-readable per-phase
-   report (spans + metrics), --trace FILE writes a Chrome-trace timeline
-   viewable in chrome://tracing or Perfetto. Each experiment runs under a
-   "bench.<name>" root span, so the per-phase summary attributes wall
-   time to E1..E7 and their inner compile/cost/sim phases. *)
+   report (spans + metrics + perf_profile), --trace FILE writes a
+   Chrome-trace timeline viewable in chrome://tracing or Perfetto, and
+   --events FILE writes the structured event log (JSONL, schema v1).
+   Each experiment runs under a "bench.<name>" root span, so the
+   per-phase summary attributes wall time to E1..E7 and their inner
+   compile/cost/sim phases. *)
 
 let parse_args args =
-  let json = ref None and trace = ref None and rest = ref [] in
+  let json = ref None and trace = ref None and events = ref None
+  and rest = ref [] in
   let rec go = function
     | [] -> ()
     | "--json" :: path :: tl -> json := Some path; go tl
     | "--trace" :: path :: tl -> trace := Some path; go tl
+    | "--events" :: path :: tl -> events := Some path; go tl
     | "--jobs" :: n :: tl ->
         (match int_of_string_opt n with
         | Some j when j >= 0 -> jobs_flag := j
@@ -1132,15 +1262,18 @@ let parse_args args =
     | a :: tl -> rest := a :: !rest; go tl
   in
   go args;
-  (!json, !trace, List.rev !rest)
+  (!json, !trace, !events, List.rev !rest)
 
 let run_experiment name f =
   Tytra_telemetry.Span.with_ ~name:("bench." ^ name) f
 
 let () =
-  let json, trace, args = parse_args (List.tl (Array.to_list Sys.argv)) in
-  if json <> None || trace <> None then begin
+  let json, trace, events, args =
+    parse_args (List.tl (Array.to_list Sys.argv))
+  in
+  if json <> None || trace <> None || events <> None then begin
     Tytra_telemetry.Control.set_enabled true;
+    Option.iter Tytra_telemetry.Events.open_file events;
     at_exit (fun () ->
         Option.iter
           (fun path ->
@@ -1152,7 +1285,12 @@ let () =
             Tytra_telemetry.Export.write_chrome_trace ~process_name:"bench"
               path;
             Format.eprintf "chrome trace written to %s@." path)
-          trace)
+          trace;
+        Option.iter
+          (fun path ->
+            Tytra_telemetry.Events.close ();
+            Format.eprintf "event log written to %s@." path)
+          events)
   end;
   Format.printf
     "TyTra cost-model reproduction - experiment harness (see DESIGN.md §4)@.";

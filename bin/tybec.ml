@@ -15,6 +15,38 @@
 
 open Cmdliner
 
+(* ---- exit codes ----
+
+   Distinct and documented (README "Exit codes"): scripts branch on
+   them. 0 = success, 1 = internal error (a bug or an unexpected
+   exception), 2 = the input could not be read or parsed, 3 = it parsed
+   but failed static validation. *)
+
+let exit_internal = 1
+let exit_parse = 2
+let exit_validation = 3
+
+type failure = { fcode : int; fmsg : string }
+
+let fail code fmt = Printf.ksprintf (fun m -> Error { fcode = code; fmsg = m }) fmt
+
+let exit_of = function
+  | Ok () -> 0
+  | Error { fcode; fmsg } ->
+      prerr_endline ("tybec: " ^ fmsg);
+      fcode
+
+(* Last line of defense for the crash-free CLI contract: anything a
+   subcommand lets escape is an internal error, reported as exit 1 —
+   never an uncaught-exception backtrace with cmdliner's exit 125. *)
+let guarded f =
+  try f ()
+  with e ->
+    let bt = Printexc.get_backtrace () in
+    prerr_endline ("tybec: internal error: " ^ Printexc.to_string e);
+    if bt <> "" then prerr_string bt;
+    exit_internal
+
 (* ---- observability: Logs reporter + telemetry flags ---- *)
 
 (* A plain reporter on stderr with elapsed-time stamps and the source
@@ -40,7 +72,8 @@ let log_reporter ppf =
   in
   { Logs.report }
 
-let setup_observability trace metrics verbose level no_fast_ir =
+let setup_observability trace metrics verbose level no_fast_ir events
+    metrics_json metrics_addr =
   if no_fast_ir then Tytra_ir.Fastpath.set_enabled false;
   let level =
     match level with
@@ -53,7 +86,33 @@ let setup_observability trace metrics verbose level no_fast_ir =
   in
   Logs.set_level level;
   Logs.set_reporter (log_reporter Format.err_formatter);
-  if trace <> None || metrics then Tytra_telemetry.Control.set_enabled true;
+  if
+    trace <> None || metrics || events <> None || metrics_json <> None
+    || metrics_addr <> None
+  then Tytra_telemetry.Control.set_enabled true;
+  (match events with
+  | Some path -> (
+      match Tytra_telemetry.Events.open_file path with
+      | () -> ()
+      | exception Sys_error e ->
+          prerr_endline ("tybec: cannot open --events file: " ^ e);
+          exit exit_parse)
+  | None -> ());
+  let server =
+    match metrics_addr with
+    | None -> None
+    | Some addr -> (
+        match Tytra_telemetry.Serve.start ~addr with
+        | sv ->
+            (* announced on stderr immediately, so scrapers (the CI curl
+               step) know the endpoint is up before the sweep ends *)
+            Printf.eprintf "tybec: serving /metrics on %s\n%!"
+              (Tytra_telemetry.Serve.bound_addr sv);
+            Some sv
+        | exception Failure m ->
+            prerr_endline ("tybec: " ^ m);
+            exit exit_parse)
+  in
   at_exit (fun () ->
       (match trace with
       | Some path -> (
@@ -65,6 +124,15 @@ let setup_observability trace metrics verbose level no_fast_ir =
           | exception Sys_error e ->
               Logs.err (fun m -> m "cannot write trace: %s" e))
       | None -> ());
+      (match metrics_json with
+      | Some path -> (
+          match Tytra_telemetry.Expose.write_registry_json path with
+          | () -> Logs.info (fun m -> m "wrote metrics JSON to %s" path)
+          | exception Sys_error e ->
+              Logs.err (fun m -> m "cannot write metrics JSON: %s" e))
+      | None -> ());
+      Option.iter Tytra_telemetry.Serve.stop server;
+      Tytra_telemetry.Events.close ();
       if metrics then
         Format.printf
           "@.=== telemetry: per-phase summary ===@.%a@.=== telemetry: \
@@ -123,44 +191,45 @@ let observability_term =
              twin kept for differential testing. Also: \
              $(b,TYTRA_FAST_IR=0).")
   in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Append a structured event log to $(docv): one JSON object \
+             per line (sweep lifecycle, per-point outcomes, checkpoint \
+             writes, span open/close, counter deltas). Follows live with \
+             tail -f; schema documented in DESIGN.md §12.")
+  in
+  let metrics_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the metric registry as stable, sorted JSON to $(docv) \
+             on exit (machine-readable twin of $(b,--metrics); suitable \
+             for diffing in CI).")
+  in
+  let metrics_addr_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"ADDR"
+          ~doc:
+            "Serve live metric snapshots over HTTP while the command \
+             runs: $(b,GET /metrics) (Prometheus text format), \
+             $(b,/metrics.json) and $(b,/healthz). $(docv) is HOST:PORT, \
+             :PORT, PORT (0 = ephemeral) or unix:PATH.")
+  in
   Term.(
     const setup_observability $ trace_arg $ metrics_arg $ verbose_arg
-    $ level_arg $ no_fast_ir_arg)
+    $ level_arg $ no_fast_ir_arg $ events_arg $ metrics_json_arg
+    $ metrics_addr_arg)
 
 (* Root span of one tybec subcommand. *)
 let traced name f = Tytra_telemetry.Span.with_ ~name:("tybec." ^ name) f
-
-(* ---- exit codes ----
-
-   Distinct and documented (README "Exit codes"): scripts branch on
-   them. 0 = success, 1 = internal error (a bug or an unexpected
-   exception), 2 = the input could not be read or parsed, 3 = it parsed
-   but failed static validation. *)
-
-let exit_internal = 1
-let exit_parse = 2
-let exit_validation = 3
-
-type failure = { fcode : int; fmsg : string }
-
-let fail code fmt = Printf.ksprintf (fun m -> Error { fcode = code; fmsg = m }) fmt
-
-let exit_of = function
-  | Ok () -> 0
-  | Error { fcode; fmsg } ->
-      prerr_endline ("tybec: " ^ fmsg);
-      fcode
-
-(* Last line of defense for the crash-free CLI contract: anything a
-   subcommand lets escape is an internal error, reported as exit 1 —
-   never an uncaught-exception backtrace with cmdliner's exit 125. *)
-let guarded f =
-  try f ()
-  with e ->
-    let bt = Printexc.get_backtrace () in
-    prerr_endline ("tybec: internal error: " ^ Printexc.to_string e);
-    if bt <> "" then prerr_string bt;
-    exit_internal
 
 (* Typed diagnostics from the library; located "file:line:" messages
    come for free from [Error.pp], and the error class picks the exit
@@ -485,8 +554,27 @@ let explore_cmd =
             "Abort the sweep at the first point that fails after its \
              retries (this is the default; opposite of $(b,--best-effort)).")
   in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Render a live progress line on stderr while the sweep runs: \
+             points covered, points/sec, pruned %, cache hit % and ETA.")
+  in
+  let flight_record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-record" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Arm the DSE flight recorder: a bounded ring of recent \
+             per-point records, dumped to $(docv) on completion, on \
+             crash, and whenever the process receives $(b,SIGUSR1).")
+  in
   let run () kernel size lanes device form nki jobs no_prune retries deadline
-      checkpoint checkpoint_every resume best_effort fail_fast =
+      checkpoint checkpoint_every resume best_effort fail_fast progress
+      flight_record =
     guarded @@ fun () ->
     traced "explore" @@ fun () ->
     let prog =
@@ -500,12 +588,67 @@ let explore_cmd =
     if best_effort && fail_fast then
       exit_of
         (fail exit_parse "--best-effort and --fail-fast are contradictory")
-    else
+    else begin
+      (* Flight recorder + SIGUSR1: dump-on-demand without stopping the
+         sweep (OCaml signal handlers run at safepoints, so the dump is
+         an ordinary consistent snapshot of the ring). *)
+      (match flight_record with
+      | Some path ->
+          Tytra_dse.Flightrec.enable ();
+          Sys.set_signal Sys.sigusr1
+            (Sys.Signal_handle
+               (fun _ ->
+                 Tytra_dse.Flightrec.dump path;
+                 Printf.eprintf "tybec: flight recorder dumped to %s\n%!"
+                   path))
+      | None -> ());
+      let on_progress =
+        if not progress then None
+        else begin
+          let t0 = Unix.gettimeofday () in
+          Some
+            (fun (pg : Tytra_dse.Dse.progress) ->
+              let covered =
+                pg.Tytra_dse.Dse.pr_evaluated + pg.Tytra_dse.Dse.pr_pruned
+                + pg.Tytra_dse.Dse.pr_failed + pg.Tytra_dse.Dse.pr_restored
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              let rate =
+                if dt > 0.0 then float_of_int covered /. dt else 0.0
+              in
+              let pct part =
+                if covered = 0 then 0.0
+                else 100.0 *. float_of_int part /. float_of_int covered
+              in
+              let cs = Tytra_dse.Dse.cache_stats () in
+              let lookups =
+                cs.Tytra_exec.Cache.st_hits + cs.Tytra_exec.Cache.st_misses
+              in
+              let hit_pct =
+                if lookups = 0 then 0.0
+                else
+                  100.0
+                  *. float_of_int cs.Tytra_exec.Cache.st_hits
+                  /. float_of_int lookups
+              in
+              let remaining = max 0 (pg.Tytra_dse.Dse.pr_space - covered) in
+              let eta =
+                if rate > 0.0 then float_of_int remaining /. rate else 0.0
+              in
+              Printf.eprintf
+                "\r[explore] %d/%d points  %.1f pts/s  pruned %.0f%%  \
+                 cache %.0f%%  eta %.1fs   %!"
+                covered pg.Tytra_dse.Dse.pr_space rate
+                (pct pg.Tytra_dse.Dse.pr_pruned)
+                hit_pct eta)
+        end
+      in
       let config =
         { Tytra_dse.Dse.default_config with device; form; nki;
           max_lanes = lanes; jobs; prune = not no_prune;
           max_attempts = 1 + max 0 retries; deadline_s = deadline;
-          fail_fast = not best_effort; checkpoint; checkpoint_every }
+          fail_fast = not best_effort; checkpoint; checkpoint_every;
+          on_progress }
       in
       let restore =
         match resume with
@@ -521,7 +664,28 @@ let explore_cmd =
       match restore with
       | Error f -> exit_of (Error f)
       | Ok restore ->
-          let sw = Tytra_dse.Dse.explore_sweep ~config ?restore prog in
+          let dump_flight () =
+            match flight_record with
+            | Some path -> (
+                try
+                  Tytra_dse.Flightrec.dump path;
+                  Printf.eprintf "tybec: flight recorder dumped to %s\n%!"
+                    path
+                with Sys_error e ->
+                  Printf.eprintf "tybec: cannot dump flight recorder: %s\n%!"
+                    e)
+            | None -> ()
+          in
+          let sw =
+            (* crash (and fail-fast deadline-expiry) path: dump the ring
+               before the exception escapes to [guarded] *)
+            try Tytra_dse.Dse.explore_sweep ~config ?restore prog
+            with e ->
+              dump_flight ();
+              raise e
+          in
+          if progress then prerr_newline ();
+          dump_flight ();
           let pts = sw.Tytra_dse.Dse.sw_points in
           let front = Tytra_dse.Dse.pareto pts in
           traced "report" @@ fun () ->
@@ -546,6 +710,7 @@ let explore_cmd =
                 (Tytra_front.Transform.to_string b.Tytra_dse.Dse.dp_variant)
           | None -> Format.printf "no valid variant@.");
           0
+    end
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Design-space exploration over a built-in kernel")
@@ -553,7 +718,8 @@ let explore_cmd =
       const run $ observability_term $ kernel_arg $ size_arg $ lanes_arg
       $ device_arg $ form_arg $ nki_arg $ jobs_arg $ no_prune_arg
       $ retries_arg $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg $ best_effort_arg $ fail_fast_arg)
+      $ resume_arg $ best_effort_arg $ fail_fast_arg $ progress_arg
+      $ flight_record_arg)
 
 (* ---- bw ---- *)
 

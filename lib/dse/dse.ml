@@ -65,6 +65,20 @@ type config = {
   checkpoint : string option;
       (** write a resumable checkpoint of the evaluated points here *)
   checkpoint_every : int;  (** points evaluated between checkpoint writes *)
+  on_progress : (progress -> unit) option;
+      (** called on the sweep's driving domain after every evaluation
+          wave (and every checkpoint chunk) with cumulative coverage;
+          the [--progress] live line renders from this *)
+}
+
+(** Cumulative sweep coverage, as passed to [config.on_progress].
+    Aggregated over every config of a {!sweep_many} batch. *)
+and progress = {
+  pr_space : int;      (** variants enumerated across all configs *)
+  pr_evaluated : int;  (** full evaluations completed so far *)
+  pr_pruned : int;     (** candidates skipped by bounds so far *)
+  pr_failed : int;     (** candidates quarantined so far *)
+  pr_restored : int;   (** points adopted from a checkpoint *)
 }
 
 let default_config : config =
@@ -85,6 +99,7 @@ let default_config : config =
     fail_fast = true;
     checkpoint = None;
     checkpoint_every = 32;
+    on_progress = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -160,7 +175,9 @@ let eval_point ~(config : config) ~prog_key prog v =
            (Tytra_cost.Throughput.form_to_string config.form));
       ]
   @@ fun () ->
+  let computed = ref false in
   let compute () =
+    computed := true;
     let d = lower_point ~config ~prog_key prog v in
     let report =
       Tytra_cost.Report.evaluate ~device:config.device ?calib:config.calib
@@ -168,6 +185,10 @@ let eval_point ~(config : config) ~prog_key prog v =
     in
     (d, report)
   in
+  (* Flight-recorder / event-log detail is gated separately from plain
+     metrics: with neither armed, this adds two ref cells and a bool. *)
+  let observe = Flightrec.is_enabled () || Tytra_telemetry.Events.active () in
+  let t0 = if observe then Tytra_telemetry.Clock.now_ns () else 0L in
   let d, report =
     if config.use_cache then
       Tytra_exec.Cache.find_or_add cache ~key:(point_key ~config ~prog_key v)
@@ -177,6 +198,26 @@ let eval_point ~(config : config) ~prog_key prog v =
   let p = { dp_variant = v; dp_design = d; dp_report = report } in
   Tytra_telemetry.Metrics.incr "dse.points_evaluated";
   Tytra_telemetry.Metrics.observe "dse.point.ekit" (ekit p);
+  if observe then begin
+    let dur_ns =
+      Int64.max 0L (Int64.sub (Tytra_telemetry.Clock.now_ns ()) t0)
+    in
+    let cached = config.use_cache && not !computed in
+    let variant = Transform.to_string v in
+    if Flightrec.is_enabled () then
+      Flightrec.note ~variant
+        (Flightrec.Evaluated
+           {
+             fo_ekit = ekit p;
+             fo_valid = valid p;
+             fo_cached = cached;
+             fo_dur_ns = dur_ns;
+           });
+    if Tytra_telemetry.Events.active () then
+      Tytra_telemetry.Events.emit
+        (Tytra_telemetry.Events.Point_evaluated
+           { variant; ekit = ekit p; valid = valid p; cached; dur_ns })
+  end;
   p
 
 (* ------------------------------------------------------------------ *)
@@ -283,6 +324,19 @@ let prunable st (b : Tytra_cost.Bounds.t) =
 
 let record_bounded st idx v b reason =
   Tytra_telemetry.Metrics.incr "dse.points_pruned";
+  if Flightrec.is_enabled () || Tytra_telemetry.Events.active () then begin
+    let variant = Transform.to_string v in
+    let why =
+      Printf.sprintf "%s (ekit_ub=%.6g, fits=%b)"
+        (prune_reason_to_string reason)
+        b.Tytra_cost.Bounds.b_ekit_ub b.Tytra_cost.Bounds.b_fits
+    in
+    if Flightrec.is_enabled () then
+      Flightrec.note ~variant (Flightrec.Pruned why);
+    if Tytra_telemetry.Events.active () then
+      Tytra_telemetry.Events.emit
+        (Tytra_telemetry.Events.Point_pruned { variant; reason = why })
+  end;
   st.st_bounded <-
     (idx, { bp_variant = v; bp_bounds = b; bp_reason = reason })
     :: st.st_bounded
@@ -330,6 +384,18 @@ let eval_wave_resilient ~pool ~retry ~deadline_s ~fail_fast prog
           Log.warn (fun m ->
               m "point %s failed: %a" (Transform.to_string v)
                 Tytra_exec.Pool.pp_task_error te);
+          if Flightrec.is_enabled () || Tytra_telemetry.Events.active ()
+          then begin
+            let variant = Transform.to_string v in
+            let err =
+              Format.asprintf "%a" Tytra_exec.Pool.pp_task_error te
+            in
+            if Flightrec.is_enabled () then
+              Flightrec.note ~variant (Flightrec.Failed err);
+            if Tytra_telemetry.Events.active () then
+              Tytra_telemetry.Events.emit
+                (Tytra_telemetry.Events.Point_failed { variant; error = err })
+          end;
           st.st_errors <-
             (idx, { se_variant = v; se_error = te }) :: st.st_errors)
     items outcomes;
@@ -371,7 +437,11 @@ let save_checkpoint ~path (config : config) prog (points : point list) =
   Checkpoint.save ~path ~kind:checkpoint_kind
     ~meta:(checkpoint_meta config prog)
     points;
-  Tytra_telemetry.Metrics.incr "dse.checkpoint.writes"
+  Tytra_telemetry.Metrics.incr "dse.checkpoint.writes";
+  if Tytra_telemetry.Events.active () then
+    Tytra_telemetry.Events.emit
+      (Tytra_telemetry.Events.Checkpoint_written
+         { path; points = List.length points })
 
 let load_checkpoint ~path (config : config) prog : (point list, string) result
     =
@@ -446,16 +516,64 @@ let sweep_many ~pool ?(restore = []) (configs : config list)
                      st.st_done <- (i, p) :: st.st_done;
                      st.st_restored <- st.st_restored + 1;
                      update_incumbent st p;
+                     if Flightrec.is_enabled () then
+                       Flightrec.note ~variant:(Transform.to_string v)
+                         Flightrec.Restored;
                      false)
         in
         (st, indexed))
       configs
   in
+  (* The event log marks each config's sweep here, where the space is
+     already enumerated — recomputing it just for the event would cost
+     a full [Transform.enumerate] per sweep (~ms on large spaces). *)
+  if Tytra_telemetry.Events.active () then
+    List.iter
+      (fun (st, _) ->
+        Tytra_telemetry.Events.emit
+          (Tytra_telemetry.Events.Sweep_started
+             {
+               kernel = prog.Expr.p_kernel.Expr.k_name;
+               space = st.st_space;
+               jobs = st.st_config.jobs;
+               prune = st.st_config.prune;
+             }))
+      states_with_variants;
   (* Resilience policy, from the head config. The legacy [eval_wave]
      path is kept bit-for-bit for plain sweeps: it is the hot path the
      bench baseline pins, and its first-exception semantics *is* the
      fail-fast contract. *)
   let head = List.hd configs in
+  (* Progress notification: cumulative coverage across every config,
+     reported on the driving domain after each wave/chunk. The policy
+     (like resilience below) comes from the head config. *)
+  let notify =
+    match head.on_progress with
+    | None -> fun () -> ()
+    | Some f ->
+        let states = List.map fst states_with_variants in
+        fun () ->
+          f
+            (List.fold_left
+               (fun acc st ->
+                 {
+                   pr_space = acc.pr_space + st.st_space;
+                   pr_evaluated =
+                     acc.pr_evaluated
+                     + (List.length st.st_done - st.st_restored);
+                   pr_pruned = acc.pr_pruned + List.length st.st_bounded;
+                   pr_failed = acc.pr_failed + List.length st.st_errors;
+                   pr_restored = acc.pr_restored + st.st_restored;
+                 })
+               {
+                 pr_space = 0;
+                 pr_evaluated = 0;
+                 pr_pruned = 0;
+                 pr_failed = 0;
+                 pr_restored = 0;
+               }
+               states)
+  in
   let resilient =
     head.max_attempts > 1
     || head.deadline_s <> None
@@ -494,7 +612,7 @@ let sweep_many ~pool ?(restore = []) (configs : config list)
     save_checkpoint ~path head prog pts
   in
   let run_wave items =
-    match ckpt with
+    (match ckpt with
     | None -> run_wave items
     | Some path ->
         let chunk_size =
@@ -506,9 +624,11 @@ let sweep_many ~pool ?(restore = []) (configs : config list)
               let chunk, rest = take_n chunk_size items in
               run_wave chunk;
               write_ckpt path;
+              notify ();
               go rest
         in
-        go items
+        go items);
+    notify ()
   in
   (* Phase 1: baselines. Replication bounds derive from the Pipe report,
      so Seq and Pipe (pes < 2) are always evaluated in full; with
@@ -603,8 +723,9 @@ let sweep_many ~pool ?(restore = []) (configs : config list)
   (* Final write so a completed sweep leaves a complete checkpoint on
      disk (a resume of it restores every point and evaluates nothing). *)
   Option.iter write_ckpt ckpt;
-  List.map
-    (fun st ->
+  let sweeps =
+    List.map
+      (fun st ->
       let by_index (i1, _) (i2, _) = compare i1 i2 in
       let bounded = List.sort by_index st.st_bounded |> List.map snd in
       let errors = List.sort by_index st.st_errors |> List.map snd in
@@ -625,7 +746,23 @@ let sweep_many ~pool ?(restore = []) (configs : config list)
             ss_failed = List.length errors;
           };
       })
-    states
+      states
+  in
+  if Tytra_telemetry.Events.active () then
+    List.iter
+      (fun sw ->
+        Tytra_telemetry.Events.emit
+          (Tytra_telemetry.Events.Sweep_finished
+             {
+               evaluated = sw.sw_stats.ss_evaluated;
+               pruned =
+                 sw.sw_stats.ss_pruned_resource
+                 + sw.sw_stats.ss_pruned_incumbent;
+               failed = sw.sw_stats.ss_failed;
+               restored = sw.sw_stats.ss_restored;
+             }))
+      sweeps;
+  sweeps
 
 (* ------------------------------------------------------------------ *)
 (* Exploration                                                         *)
@@ -646,6 +783,8 @@ let explore_sweep ?(config = default_config) ?restore (prog : Expr.program) :
         ("jobs", Tytra_telemetry.Span.Int config.jobs);
         ("prune", Tytra_telemetry.Span.Str (string_of_bool config.prune)) ]
   @@ fun () ->
+  (* sweep_started / sweep_finished events are emitted by [sweep_many],
+     which has the enumerated space at hand. *)
   let sw =
     Tytra_exec.Pool.with_pool ~jobs:config.jobs (fun pool ->
         match sweep_many ~pool ?restore [ config ] prog with

@@ -61,6 +61,21 @@ type config = {
       (** write a resumable checkpoint of the evaluated points here
           (single-config sweeps only; see {!save_checkpoint}) *)
   checkpoint_every : int;  (** points evaluated between checkpoint writes *)
+  on_progress : (progress -> unit) option;
+      (** called on the sweep's driving domain after every evaluation
+          wave (and every checkpoint chunk) with cumulative coverage;
+          [tybec explore --progress] renders its live line from this *)
+}
+
+(** Cumulative sweep coverage, as passed to [config.on_progress]. In a
+    multi-config batch ({!explore_devices}) the counts aggregate over
+    every config. *)
+and progress = {
+  pr_space : int;      (** variants enumerated across all configs *)
+  pr_evaluated : int;  (** full evaluations completed so far *)
+  pr_pruned : int;     (** candidates skipped by bounds so far *)
+  pr_failed : int;     (** candidates quarantined so far *)
+  pr_restored : int;   (** points adopted from a checkpoint *)
 }
 
 val default_config : config

@@ -1,0 +1,161 @@
+(** DSE flight recorder: a bounded ring buffer of recent per-point
+    records.
+
+    A multi-hour sweep that crashes, hangs past its deadline, or gets
+    poked with SIGUSR1 should be able to say what it was doing *just
+    now* — not only what it aggregated since start. The recorder keeps
+    the last [capacity] per-point outcomes (evaluated / pruned / failed /
+    restored, with EKIT, cache and duration detail) in a fixed-size ring:
+    recording is O(1), memory is bounded, and {!dump} writes the ring as
+    JSONL oldest-first with a header line accounting for anything
+    overwritten.
+
+    The ring is process-wide and mutex-guarded: worker domains of the
+    evaluation pool record directly, and a dump (from a signal handler
+    or a crash path on the main domain) sees a consistent snapshot.
+    Disabled (the default), {!note} is one mutable-bool check.
+
+    Timestamps come from {!Tytra_telemetry.Clock}, so tests with an
+    injected clock get deterministic dumps. *)
+
+module Jsenc = Tytra_telemetry.Jsenc
+
+(** What happened to one candidate point. *)
+type outcome =
+  | Evaluated of {
+      fo_ekit : float;
+      fo_valid : bool;
+      fo_cached : bool;   (** served from the evaluation cache *)
+      fo_dur_ns : int64;  (** wall time of this evaluation *)
+    }
+  | Pruned of string   (** bound decision, e.g. "dominated (ekit_ub=…)" *)
+  | Failed of string   (** task error after exhausting retries *)
+  | Restored           (** adopted from a resume checkpoint *)
+
+type entry = {
+  fr_seq : int;        (** recording order, 0-based from {!enable} *)
+  fr_ts_ns : int64;
+  fr_variant : string; (** variant digest, e.g. "par8" *)
+  fr_outcome : outcome;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Ring state                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mutex = Mutex.create ()
+let enabled_flag = ref false
+let ring : entry option array ref = ref [||]
+let next = ref 0 (* total records ever; ring slot is next mod capacity *)
+
+let default_capacity = 256
+
+(** [enable ?capacity ()] — arm the recorder with a fresh ring. *)
+let enable ?(capacity = default_capacity) () =
+  Mutex.lock mutex;
+  ring := Array.make (max 1 capacity) None;
+  next := 0;
+  enabled_flag := true;
+  Mutex.unlock mutex
+
+let disable () =
+  Mutex.lock mutex;
+  enabled_flag := false;
+  ring := [||];
+  next := 0;
+  Mutex.unlock mutex
+
+let is_enabled () = !enabled_flag
+
+let capacity () = Array.length !ring
+
+(** Records overwritten since {!enable} (total minus retained). *)
+let overwritten () =
+  Mutex.lock mutex;
+  let n = max 0 (!next - Array.length !ring) in
+  Mutex.unlock mutex;
+  n
+
+(** Total records since {!enable}, retained or not. *)
+let recorded () = !next
+
+(** [note ~variant outcome] — append one record; no-op when disabled. *)
+let note ~variant (o : outcome) =
+  if !enabled_flag then begin
+    let ts = Tytra_telemetry.Clock.now_ns () in
+    Mutex.lock mutex;
+    if !enabled_flag then begin
+      let cap = Array.length !ring in
+      let s = !next in
+      !ring.(s mod cap) <-
+        Some { fr_seq = s; fr_ts_ns = ts; fr_variant = variant; fr_outcome = o };
+      next := s + 1
+    end;
+    Mutex.unlock mutex
+  end
+
+(** Retained entries, oldest first. *)
+let entries () : entry list =
+  Mutex.lock mutex;
+  let cap = Array.length !ring in
+  let l =
+    if cap = 0 then []
+    else
+      let n = !next in
+      let lo = max 0 (n - cap) in
+      List.init (n - lo) (fun i ->
+          match !ring.((lo + i) mod cap) with
+          | Some e -> e
+          | None -> assert false)
+  in
+  Mutex.unlock mutex;
+  l
+
+(* ------------------------------------------------------------------ *)
+(* Dump                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_fields = function
+  | Evaluated { fo_ekit; fo_valid; fo_cached; fo_dur_ns } ->
+      Printf.sprintf
+        "\"outcome\":\"evaluated\",\"ekit\":%s,\"valid\":%b,\"cached\":%b,\"dur_ns\":%Ld"
+        (Jsenc.json_num fo_ekit) fo_valid fo_cached fo_dur_ns
+  | Pruned reason ->
+      Printf.sprintf "\"outcome\":\"pruned\",\"reason\":%s"
+        (Jsenc.json_string reason)
+  | Failed err ->
+      Printf.sprintf "\"outcome\":\"failed\",\"error\":%s"
+        (Jsenc.json_string err)
+  | Restored -> "\"outcome\":\"restored\""
+
+let entry_line (e : entry) =
+  Printf.sprintf "{\"seq\":%d,\"ts_ns\":%Ld,\"variant\":%s,%s}" e.fr_seq
+    e.fr_ts_ns
+    (Jsenc.json_string e.fr_variant)
+    (outcome_fields e.fr_outcome)
+
+(** The ring as JSONL: one header line ([{"flight_recorder":…}] with
+    version, capacity and loss accounting) followed by the retained
+    entries, oldest first. *)
+let to_jsonl () : string =
+  let es = entries () in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"flight_recorder\":1,\"capacity\":%d,\"recorded\":%d,\"overwritten\":%d}\n"
+       (capacity ()) (recorded ()) (overwritten ()));
+  List.iter
+    (fun e ->
+      Buffer.add_string b (entry_line e);
+      Buffer.add_char b '\n')
+    es;
+  Buffer.contents b
+
+(** [dump path] — write {!to_jsonl} to [path] (truncating). Safe to call
+    from a signal handler: OCaml handlers run at safepoints, not in
+    async-signal context. *)
+let dump (path : string) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_jsonl ()))

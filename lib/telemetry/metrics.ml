@@ -52,6 +52,12 @@ let find_or_add name mk =
 (* Mutation                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Counter mutations mirror into the structured event log when a sink is
+   installed (Events has its own lock; emit outside the registry mutex). *)
+let emit_delta name delta =
+  if Events.active () then
+    Events.emit (Events.Counter_delta { name; delta })
+
 (** [incr ?by name] — add [by] (default 1) to counter [name]. *)
 let incr ?(by = 1) name =
   if !Control.enabled then begin
@@ -59,7 +65,8 @@ let incr ?(by = 1) name =
     (match find_or_add name (fun () -> Counter (ref 0.0)) with
     | Counter c -> c := !c +. float_of_int by
     | _ -> ());
-    Mutex.unlock mutex
+    Mutex.unlock mutex;
+    emit_delta name (float_of_int by)
   end
 
 (** [add name x] — add float [x] to counter [name]. *)
@@ -69,7 +76,8 @@ let add name x =
     (match find_or_add name (fun () -> Counter (ref 0.0)) with
     | Counter c -> c := !c +. x
     | _ -> ());
-    Mutex.unlock mutex
+    Mutex.unlock mutex;
+    emit_delta name x
   end
 
 (** [set name x] — set gauge [name] to [x]. *)
@@ -125,10 +133,15 @@ type histogram_stats = {
   hs_p95 : float;
 }
 
+(* Nearest-rank percentile: rank ceil(q*n), 1-based. The product q*n can
+   land a hair above an exact integer in floating point (0.95 *. 20. =
+   19.000000000000004), which would push ceil one rank too high — the
+   epsilon guard keeps exact ranks exact. *)
 let percentile sorted n q =
   if n = 0 then 0.0
   else
-    let idx = min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1) in
+    let rank = int_of_float (ceil ((q *. float_of_int n) -. 1e-9)) in
+    let idx = min (n - 1) (rank - 1) in
     List.nth sorted (max 0 idx)
 
 (* Immutable copy of one metric, taken under the lock; everything
@@ -225,34 +238,9 @@ let pp_text fmt () =
 
 let to_text () = Format.asprintf "%a" pp_text ()
 
-(** JSON string literal with proper escaping (OCaml's [%S] escapes
-    control characters as decimal [\ddd], which JSON rejects). *)
-let json_string s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
-
-let json_num x =
-  (* JSON has no infinities/NaN; clamp to null-safe strings *)
-  if Float.is_nan x then "0"
-  else if x = infinity then "1e308"
-  else if x = neg_infinity then "-1e308"
-  else if Float.is_integer x && Float.abs x < 1e15 then
-    Printf.sprintf "%.0f" x
-  else Printf.sprintf "%.17g" x
+(* JSON encoding lives in {!Jsenc}; aliased here for existing callers. *)
+let json_string = Jsenc.json_string
+let json_num = Jsenc.json_num
 
 (** JSON dump: {"counters":{..},"gauges":{..},"histograms":{..}}. *)
 let to_json () : string =

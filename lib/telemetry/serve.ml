@@ -1,0 +1,233 @@
+(** Tiny single-threaded metrics snapshot server — the first brick of
+    [tybec serve].
+
+    Listens on a TCP address ([HOST:PORT], [:PORT], or [PORT]; port 0
+    binds an ephemeral port) or a Unix socket ([unix:PATH]) and answers:
+
+    - [GET /metrics]      → Prometheus text exposition ({!Expose.render})
+    - [GET /metrics.json] → the registry as stable sorted JSON
+    - [GET /healthz]      → [200 ok]
+
+    Every response is rendered from a {!Metrics.snapshot} taken at
+    request time, so a scrape never blocks the sweep: workers only hold
+    the registry mutex for the duration of the copy, exactly as any
+    other reader.
+
+    The accept loop runs on its own domain and polls a stop flag through
+    [Unix.select], so {!stop} returns promptly (≤ the poll interval) and
+    the listening socket is closed deterministically. One request is
+    served at a time — a scrape endpoint needs no more, and it keeps the
+    server trivially correct. *)
+
+type server = {
+  sv_fd : Unix.file_descr;
+  sv_addr : string;         (** bound address, e.g. "127.0.0.1:9464" *)
+  sv_unix_path : string option;
+  sv_stop : bool Atomic.t;
+  sv_requests : int Atomic.t;
+  sv_domain : unit Domain.t;
+}
+
+let bound_addr t = t.sv_addr
+let requests_served t = Atomic.get t.sv_requests
+
+(* --------------------------------------------------------------- *)
+(* Request handling                                                 *)
+(* --------------------------------------------------------------- *)
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let respond path =
+  match path with
+  | "/metrics" ->
+      http_response ~status:"200 OK"
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Expose.render ())
+  | "/metrics.json" ->
+      http_response ~status:"200 OK" ~content_type:"application/json"
+        (Expose.registry_json () ^ "\n")
+  | "/healthz" ->
+      http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+  | _ ->
+      http_response ~status:"404 Not Found" ~content_type:"text/plain"
+        "not found\n"
+
+(* Read until the end of the request head (blank line) or a small cap;
+   clients slower than [timeout] get dropped rather than wedging the
+   accept loop. *)
+let read_request fd =
+  let buf = Bytes.create 1024 in
+  let b = Buffer.create 256 in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec go () =
+    if Buffer.length b > 8192 then Buffer.contents b
+    else
+      let head = Buffer.contents b in
+      if
+        String.length head >= 4
+        && String.sub head (String.length head - 4) 4 = "\r\n\r\n"
+      then head
+      else
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then head
+        else
+          match Unix.select [ fd ] [] [] remaining with
+          | [], _, _ -> head
+          | _ -> (
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> head
+              | n ->
+                  Buffer.add_subbytes b buf 0 n;
+                  go ()
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _)
+                ->
+                  go ())
+  in
+  go ()
+
+let request_path head =
+  (* "GET /metrics HTTP/1.1\r\n..." → "/metrics" *)
+  match String.index_opt head '\r' with
+  | None -> None
+  | Some eol -> (
+      let line = String.sub head 0 eol in
+      match String.split_on_char ' ' line with
+      | meth :: path :: _ when String.uppercase_ascii meth = "GET" ->
+          Some path
+      | _ -> None)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  try go 0 with Unix.Unix_error _ -> ()
+
+let handle_client fd requests =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let head = read_request fd in
+      let body =
+        match request_path head with
+        | Some path -> respond path
+        | None ->
+            http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+              "bad request\n"
+      in
+      write_all fd body;
+      Atomic.incr requests)
+
+let accept_loop fd stop requests =
+  let rec go () =
+    if not (Atomic.get stop) then begin
+      (match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true fd with
+          | client, _ -> (
+              try handle_client client requests
+              with _ -> (try Unix.close client with Unix.Unix_error _ -> ()))
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+(* --------------------------------------------------------------- *)
+(* Lifecycle                                                        *)
+(* --------------------------------------------------------------- *)
+
+let parse_tcp_addr addr =
+  match String.rindex_opt addr ':' with
+  | Some i ->
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      let host = if host = "" then "127.0.0.1" else host in
+      (host, int_of_string port)
+  | None -> ("127.0.0.1", int_of_string addr)
+
+(** [start ~addr] — bind, listen and serve on a background domain.
+    [addr] is [HOST:PORT], [:PORT], [PORT] (TCP; port 0 = ephemeral) or
+    [unix:PATH]. Raises [Failure] on an unusable address. *)
+let start ~addr : server =
+  let fd, bound, unix_path =
+    if String.length addr > 5 && String.sub addr 0 5 = "unix:" then begin
+      let path = String.sub addr 5 (String.length addr - 5) in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.bind fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         failwith
+           (Printf.sprintf "cannot bind unix socket %s: %s" path
+              (Printexc.to_string e)));
+      (fd, addr, Some path)
+    end
+    else begin
+      let host, port =
+        try parse_tcp_addr addr
+        with _ ->
+          failwith
+            (Printf.sprintf
+               "bad --metrics-addr %S (expected HOST:PORT, :PORT, PORT or \
+                unix:PATH)"
+               addr)
+      in
+      let inet =
+        try Unix.inet_addr_of_string host
+        with _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              failwith (Printf.sprintf "cannot resolve host %S" host)
+          | h -> h.Unix.h_addr_list.(0)
+          | exception Not_found ->
+              failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (try Unix.bind fd (Unix.ADDR_INET (inet, port))
+       with e ->
+         Unix.close fd;
+         failwith
+           (Printf.sprintf "cannot bind %s: %s" addr (Printexc.to_string e)));
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (a, p) ->
+            Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+        | _ -> addr
+      in
+      (fd, bound, None)
+    end
+  in
+  Unix.listen fd 16;
+  let stop = Atomic.make false in
+  let requests = Atomic.make 0 in
+  let dom = Domain.spawn (fun () -> accept_loop fd stop requests) in
+  {
+    sv_fd = fd;
+    sv_addr = bound;
+    sv_unix_path = unix_path;
+    sv_stop = stop;
+    sv_requests = requests;
+    sv_domain = dom;
+  }
+
+(** Stop the accept loop, join its domain, close the socket. Idempotent
+    enough for an [at_exit] hook. *)
+let stop (t : server) : unit =
+  if not (Atomic.exchange t.sv_stop true) then begin
+    Domain.join t.sv_domain;
+    (try Unix.close t.sv_fd with Unix.Unix_error _ -> ());
+    match t.sv_unix_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | None -> ()
+  end

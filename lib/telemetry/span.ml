@@ -131,18 +131,31 @@ let with_ ?(attrs : (string * attr) list = []) ~name f =
       ds.ds_depth <- ds.ds_depth - 1;
       match ds.ds_stack with _ :: tl -> ds.ds_stack <- tl | [] -> ()
     in
+    if Events.active () then Events.emit (Events.Span_open { name; depth = d });
     let t0 = Clock.now_ns () in
     match f () with
     | v ->
         let t1 = Clock.now_ns () in
         leave ();
         record ~name ~t0 ~t1 ~depth:d ~tid ~attrs;
+        if Events.active () then
+          Events.emit
+            (Events.Span_close
+               { name; dur_ns = Int64.max 0L (Int64.sub t1 t0); error = None });
         v
     | exception e ->
         let t1 = Clock.now_ns () in
         leave ();
         record ~name ~t0 ~t1 ~depth:d ~tid
           ~attrs:(("error", Str (Printexc.to_string e)) :: attrs);
+        if Events.active () then
+          Events.emit
+            (Events.Span_close
+               {
+                 name;
+                 dur_ns = Int64.max 0L (Int64.sub t1 t0);
+                 error = Some (Printexc.to_string e);
+               });
         raise e
   end
 

@@ -20,6 +20,7 @@ let () =
       ("sim", Test_sim.suite);
       ("kernels", Test_kernels.suite);
       ("telemetry", Test_telemetry.suite);
+      ("observability", Test_observability.suite);
       ("exec", Test_exec.suite);
       ("dse", Test_dse.suite);
       ("resilience", Test_resilience.suite);
