@@ -777,6 +777,200 @@ let e9 () =
   Tytra_telemetry.Metrics.set "bench.e9.total_s" !tot_t
 
 (* ------------------------------------------------------------------ *)
+(* E10: cost-model-as-a-service - warm engine vs one-shot CLI          *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Tytra_engine.Engine
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (n * p / 100))
+
+let e10 () =
+  hr "E10: cost-model-as-a-service - warm engine latency vs one-shot CLI";
+  let device = Tytra_device.Device.stratixv_gsd8 in
+  (* small instances: E10 measures request-lifecycle overhead, not
+     evaluation scaling (that is E5/E8) *)
+  let kernels =
+    [
+      ("sor", Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 ());
+      ("hotspot", Tytra_kernels.Hotspot.program ~rows:32 ~cols:32 ());
+      ("lavamd", Tytra_kernels.Lavamd.program ~boxes:8 ());
+      ("srad", Tytra_kernels.Srad.program ~rows:32 ~cols:32 ());
+    ]
+  in
+  let sources =
+    List.map
+      (fun (name, prog) ->
+        (name, Tytra_ir.Pprint.design_to_string (Lower.lower prog Transform.Pipe)))
+      kernels
+  in
+  (* the mixed traffic profile: per kernel one check, a cost in each
+     throughput form, and a cycle-accurate sim - 16 distinct requests *)
+  let mix =
+    List.concat_map
+      (fun (name, src) ->
+        let source = Engine.Inline src in
+        [
+          (name ^ "/check", Engine.Check { source });
+          ( name ^ "/costA",
+            Engine.Cost
+              { source; device; form = Tytra_cost.Throughput.FormA; nki = 10;
+                optimize = false; calib = None } );
+          ( name ^ "/costB",
+            Engine.Cost
+              { source; device; form = Tytra_cost.Throughput.FormB; nki = 10;
+                optimize = false; calib = None } );
+          ( name ^ "/sim",
+            Engine.Sim
+              { source; device; form = Tytra_cost.Throughput.FormB; nki = 10;
+                optimize = false } );
+        ])
+      sources
+  in
+  let eng = Engine.create Engine.default_config in
+  let submit_ok (label, req) =
+    match Engine.submit eng req with
+    | Ok _ -> ()
+    | Error e -> failwith ("E10 request " ^ label ^ ": " ^ Engine.error_message e)
+  in
+  (* prewarm sequentially: fills the parse cache and the process-global
+     stage caches, so the measured phases see steady-state traffic (and
+     the cache counters stay a pure function of the request counts) *)
+  List.iter submit_ok mix;
+  let warm0 = Engine.parse_cache_stats eng in
+  (* sequential phase: per-request latency percentiles *)
+  let seq_reps = 10 in
+  let lats =
+    Array.init (seq_reps * List.length mix) (fun i ->
+        let req = List.nth mix (i mod List.length mix) in
+        let (), dt = time_s (fun () -> submit_ok req) in
+        dt)
+  in
+  Array.sort compare lats;
+  let p50 = percentile lats 50 and p95 = percentile lats 95 in
+  (* concurrent phase: 4 client domains replay the mix against the one
+     warm engine (fixed at 4 regardless of --jobs, so the work counters
+     are machine-independent) *)
+  let clients = 4 and conc_reps = 5 in
+  let (), wall =
+    time_s (fun () ->
+        List.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to conc_reps do
+                  List.iter submit_ok mix
+                done))
+        |> List.iter Domain.join)
+  in
+  let conc_n = clients * conc_reps * List.length mix in
+  let req_s = float_of_int conc_n /. Float.max 1e-9 wall in
+  let warm1 = Engine.parse_cache_stats eng in
+  Format.printf
+    "mixed traffic (%d request kinds over 4 kernels: check + cost A/B + sim):@."
+    (List.length mix);
+  Format.printf
+    "  sequential: %d requests, p50 %.3f ms, p95 %.3f ms@."
+    (Array.length lats) (p50 *. 1e3) (p95 *. 1e3);
+  Format.printf
+    "  concurrent: %d clients x %d requests -> %.0f req/s sustained@." clients
+    (conc_reps * List.length mix) req_s;
+  Format.printf
+    "  parse cache over the measured phases: %d hits / %d misses (the warm \
+     engine re-parses nothing)@."
+    (warm1.Tytra_exec.Cache.st_hits - warm0.Tytra_exec.Cache.st_hits)
+    (warm1.Tytra_exec.Cache.st_misses - warm0.Tytra_exec.Cache.st_misses);
+  (* cold comparison: the same cost request as a one-shot tybec process
+     (fork + exec + parse + validate + evaluate + exit) vs the warm
+     engine answering it in-process *)
+  let sor_src = List.assoc "sor" sources in
+  let tirl_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tytra_bench_e10.%d.tirl" (Unix.getpid ()))
+  in
+  let oc = open_out tirl_path in
+  output_string oc sor_src;
+  close_out oc;
+  let cost_req =
+    Engine.Cost
+      { source = Engine.File tirl_path; device;
+        form = Tytra_cost.Throughput.FormB; nki = 1; optimize = false;
+        calib = None }
+  in
+  submit_ok ("cold-compare/warm", cost_req);
+  let warm_reps = 40 in
+  let warm_lats =
+    Array.init warm_reps (fun _ ->
+        snd (time_s (fun () -> submit_ok ("cold-compare/warm", cost_req))))
+  in
+  Array.sort compare warm_lats;
+  let warm_p50 = percentile warm_lats 50 in
+  let tybec =
+    let guess =
+      Filename.concat
+        (Filename.dirname (Filename.dirname Sys.executable_name))
+        "bin/tybec.exe"
+    in
+    if Sys.file_exists guess then Some guess else None
+  in
+  let cold_p50 =
+    match tybec with
+    | Some exe ->
+        let cmd =
+          Printf.sprintf "%s cost %s > /dev/null 2>&1" (Filename.quote exe)
+            (Filename.quote tirl_path)
+        in
+        let runs =
+          Array.init 7 (fun _ ->
+              snd
+                (time_s (fun () ->
+                     if Sys.command cmd <> 0 then
+                       failwith "E10: cold tybec cost failed")))
+        in
+        Array.sort compare runs;
+        percentile runs 50
+    | None ->
+        (* no CLI binary next to the bench executable: approximate a
+           cold process with a fresh engine over cleared caches (this
+           under-counts exec+runtime-startup cost, so the printed ratio
+           is a floor) *)
+        Format.printf
+          "  (tybec.exe not found; cold figure is in-process cold-cache, a \
+           floor on the true ratio)@.";
+        let runs =
+          Array.init 7 (fun _ ->
+              Tytra_cost.Report.clear_stage_caches ();
+              let cold_eng = Engine.create Engine.default_config in
+              snd
+                (time_s (fun () ->
+                     match Engine.submit cold_eng cost_req with
+                     | Ok _ -> ()
+                     | Error e -> failwith (Engine.error_message e))))
+        in
+        Array.sort compare runs;
+        percentile runs 50
+  in
+  Sys.remove tirl_path;
+  let speedup = cold_p50 /. Float.max 1e-9 warm_p50 in
+  Format.printf
+    "  cold one-shot `tybec cost` p50 %.2f ms vs warm engine p50 %.3f ms -> \
+     %.0fx (target >= 10x)@."
+    (cold_p50 *. 1e3) (warm_p50 *. 1e3) speedup;
+  List.iter
+    (fun (k, v) -> Tytra_telemetry.Metrics.set ("bench.e10." ^ k) v)
+    [
+      ("warm_p50_ms", p50 *. 1e3);
+      ("warm_p95_ms", p95 *. 1e3);
+      ("req_per_s", req_s);
+      ("cold_p50_ms", cold_p50 *. 1e3);
+      ("cold_vs_warm_p50_x", speedup);
+      ( "parse_cache_hits",
+        float_of_int (warm1.Tytra_exec.Cache.st_hits - warm0.Tytra_exec.Cache.st_hits) );
+      ( "parse_cache_misses",
+        float_of_int
+          (warm1.Tytra_exec.Cache.st_misses - warm0.Tytra_exec.Cache.st_misses) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* E6 / Fig 17: runtime, cpu vs fpga-maxJ vs fpga-tytra                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1232,8 +1426,9 @@ let speed () =
 (* ------------------------------------------------------------------ *)
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
-            ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("a1", a1);
-            ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6) ]
+            ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+            ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5);
+            ("a6", a6) ]
 
 (* Telemetry options: --json FILE writes a machine-readable per-phase
    report (spans + metrics + perf_profile), --trace FILE writes a

@@ -102,7 +102,7 @@ let setup_observability trace metrics verbose level no_fast_ir events
     match metrics_addr with
     | None -> None
     | Some addr -> (
-        match Tytra_telemetry.Serve.start ~addr with
+        match Tytra_telemetry.Serve.start ~addr () with
         | sv ->
             (* announced on stderr immediately, so scrapers (the CI curl
                step) know the endpoint is up before the sweep ends *)
@@ -231,21 +231,40 @@ let observability_term =
 (* Root span of one tybec subcommand. *)
 let traced name f = Tytra_telemetry.Span.with_ ~name:("tybec." ^ name) f
 
-(* Typed diagnostics from the library; located "file:line:" messages
-   come for free from [Error.pp], and the error class picks the exit
-   code. *)
+(* ---- the engine ----
+
+   Every subcommand is a thin adapter over [Tytra_engine.Engine]: flags
+   in, one typed request through [Engine.submit], [rs_text] printed
+   verbatim. One lazy process-wide engine keeps the CLI a cheap
+   one-shot client of the same lifecycle [tybec serve] keeps warm. *)
+
+module Engine = Tytra_engine.Engine
+
+let engine = lazy (Engine.create Engine.default_config)
+
+(* Typed engine errors carry the same "file:line:"-located messages the
+   library diagnostics always produced, and the error class picks the
+   exit code (internal errors keep the [guarded]-style prefix). *)
+let failure_of_engine_error e =
+  match e with
+  | Engine.Internal_error m ->
+      { fcode = Engine.exit_code e; fmsg = "internal error: " ^ m }
+  | e -> { fcode = Engine.exit_code e; fmsg = Engine.error_message e }
+
+(* Run one request and print its rendering — the whole lifecycle of a
+   design-consuming subcommand. *)
+let run_request req =
+  match Engine.submit (Lazy.force engine) req with
+  | Ok resp ->
+      print_string resp.Engine.rs_text;
+      Ok ()
+  | Error e -> Error (failure_of_engine_error e)
+
+(* Shared parse→validate preamble for the subcommands that consume the
+   design directly (hdl, testbench): same cache, same diagnostics. *)
 let read_design path =
-  match Tytra_ir.Parser.load_file path with
-  | Ok d -> Ok d
-  | Error e ->
-      let code =
-        match e with
-        | Tytra_ir.Error.Invalid _ -> exit_validation
-        | Tytra_ir.Error.Lex _ | Tytra_ir.Error.Parse _ | Tytra_ir.Error.Io _
-          ->
-            exit_parse
-      in
-      Error { fcode = code; fmsg = Tytra_ir.Error.to_string e }
+  Result.map_error failure_of_engine_error
+    (Engine.load_design (Lazy.force engine) (Engine.File path))
 
 (* ---- common args ---- *)
 
@@ -304,31 +323,13 @@ let optimize_arg =
               reduction, CSE, DCE, constant-argument propagation) before \
               the requested action.")
 
-let maybe_optimize opt d =
-  if opt then begin
-    let d', st = Tytra_ir.Optim.run d in
-    Logs.info (fun m -> m "optimizer: %a" Tytra_ir.Optim.pp_stats st);
-    d'
-  end
-  else d
-
 (* ---- check ---- *)
 
 let check_cmd =
   let run () file =
     guarded @@ fun () ->
     traced "check" @@ fun () ->
-    exit_of
-      (Result.map
-         (fun d ->
-           Format.printf "%s: valid TyTra-IR design (%d functions, %d streams)@."
-             d.Tytra_ir.Ast.d_name
-             (List.length d.Tytra_ir.Ast.d_funcs)
-             (List.length d.Tytra_ir.Ast.d_streams);
-           Format.printf "%a@."
-             (fun fmt n -> Tytra_ir.Config_tree.pp_node fmt n)
-             (Tytra_ir.Config_tree.build d))
-         (read_design file))
+    exit_of (run_request (Engine.Check { source = Engine.File file }))
   in
   Cmd.v (Cmd.info "check" ~doc:"Parse and validate a .tirl design")
     Term.(const run $ observability_term $ file_arg)
@@ -340,29 +341,10 @@ let cost_cmd =
     guarded @@ fun () ->
     traced "cost" @@ fun () ->
     exit_of
-      (Result.bind (read_design file) (fun d ->
-           Result.bind
-             (match calib_file with
-             | None -> Ok None
-             | Some f ->
-                 (* a calibration file that does not parse is an input
-                    error, same class as a bad .tirl *)
-                 Result.map Option.some
-                   (Result.map_error
-                      (fun m -> { fcode = exit_parse; fmsg = m })
-                      (Tytra_device.Calib_io.load f)))
-             (fun calib ->
-               let d = maybe_optimize opt d in
-               let r =
-                 Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d
-               in
-               traced "report" @@ fun () ->
-               Format.printf "%a@." Tytra_cost.Report.pp r;
-               Format.printf "form selection:@.%a@." Tytra_cost.Formsel.pp
-                 (Tytra_cost.Formsel.recommend ~device ?calib ~nki d);
-               Format.printf "@.roofline: %a@." Tytra_cost.Roofline.pp
-                 (Tytra_cost.Roofline.of_design ~device ?calib ~form ~nki d);
-               Ok ())))
+      (run_request
+         (Engine.Cost
+            { source = Engine.File file; device; form; nki; optimize = opt;
+              calib = calib_file }))
   in
   Cmd.v
     (Cmd.info "cost" ~doc:"Run the analytic cost model (fast estimates)")
@@ -383,15 +365,9 @@ let synth_cmd =
     guarded @@ fun () ->
     traced "synth" @@ fun () ->
     exit_of
-      (Result.map
-         (fun d ->
-           let d = maybe_optimize opt d in
-           let t0 = Unix.gettimeofday () in
-           let r = Tytra_sim.Techmap.run ~device ~effort d in
-           let dt = Unix.gettimeofday () -. t0 in
-           Format.printf "%a@." Tytra_sim.Techmap.pp_report r;
-           Format.printf "synthesis time: %.2f s@." dt)
-         (read_design file))
+      (run_request
+         (Engine.Synth
+            { source = Engine.File file; device; effort; optimize = opt }))
   in
   Cmd.v
     (Cmd.info "synth"
@@ -405,19 +381,10 @@ let sim_cmd =
   let run () file device form nki opt =
     guarded @@ fun () ->
     traced "sim" @@ fun () ->
-    let sform =
-      match form with
-      | Tytra_cost.Throughput.FormA -> Tytra_sim.Cyclesim.A
-      | Tytra_cost.Throughput.FormB -> Tytra_sim.Cyclesim.B
-      | Tytra_cost.Throughput.FormC -> Tytra_sim.Cyclesim.C
-    in
     exit_of
-      (Result.map
-         (fun d ->
-           let d = maybe_optimize opt d in
-           let r = Tytra_sim.Cyclesim.run ~device ~form:sform ~nki d in
-           Format.printf "%a@." Tytra_sim.Cyclesim.pp_result r)
-         (read_design file))
+      (run_request
+         (Engine.Sim
+            { source = Engine.File file; device; form; nki; optimize = opt }))
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Cycle-level simulation on the platform model")
@@ -438,7 +405,7 @@ let hdl_cmd =
     exit_of
       (Result.map
          (fun d ->
-           let d = maybe_optimize opt d in
+           let d = Engine.maybe_optimize opt d in
            let v, vh = Tytra_hdl.Verilog.write ~dir d in
            let mj =
              Filename.concat dir
@@ -577,14 +544,6 @@ let explore_cmd =
       flight_record =
     guarded @@ fun () ->
     traced "explore" @@ fun () ->
-    let prog =
-      match kernel with
-      | `Sor -> Tytra_kernels.Sor.program ~im:size ~jm:size ~km:size ()
-      | `Hotspot -> Tytra_kernels.Hotspot.program ~rows:size ~cols:size ()
-      | `Lavamd -> Tytra_kernels.Lavamd.program ~boxes:size ()
-      | `Srad -> Tytra_kernels.Srad.program ~rows:size ~cols:size ()
-    in
-    let jobs = if jobs = 0 then Tytra_exec.Pool.default_jobs () else jobs in
     if best_effort && fail_fast then
       exit_of
         (fail exit_parse "--best-effort and --fail-fast are contradictory")
@@ -643,73 +602,45 @@ let explore_cmd =
                 hit_pct eta)
         end
       in
-      let config =
-        { Tytra_dse.Dse.default_config with device; form; nki;
-          max_lanes = lanes; jobs; prune = not no_prune;
-          max_attempts = 1 + max 0 retries; deadline_s = deadline;
-          fail_fast = not best_effort; checkpoint; checkpoint_every;
-          on_progress }
-      in
-      let restore =
-        match resume with
-        | None -> Ok None
+      let dump_flight () =
+        match flight_record with
         | Some path -> (
-            match Tytra_dse.Dse.load_checkpoint ~path config prog with
-            | Ok pts ->
-                Format.printf "resumed %d points from %s@." (List.length pts)
-                  path;
-                Ok (Some pts)
-            | Error m -> fail exit_parse "%s" m)
+            try
+              Tytra_dse.Flightrec.dump path;
+              Printf.eprintf "tybec: flight recorder dumped to %s\n%!" path
+            with Sys_error e ->
+              Printf.eprintf "tybec: cannot dump flight recorder: %s\n%!" e)
+        | None -> ()
       in
-      match restore with
-      | Error f -> exit_of (Error f)
-      | Ok restore ->
-          let dump_flight () =
-            match flight_record with
-            | Some path -> (
-                try
-                  Tytra_dse.Flightrec.dump path;
-                  Printf.eprintf "tybec: flight recorder dumped to %s\n%!"
-                    path
-                with Sys_error e ->
-                  Printf.eprintf "tybec: cannot dump flight recorder: %s\n%!"
-                    e)
-            | None -> ()
-          in
-          let sw =
-            (* crash (and fail-fast deadline-expiry) path: dump the ring
-               before the exception escapes to [guarded] *)
-            try Tytra_dse.Dse.explore_sweep ~config ?restore prog
-            with e ->
-              dump_flight ();
-              raise e
-          in
+      let req =
+        Engine.Explore
+          {
+            Engine.x_kernel =
+              (match kernel with
+              | `Sor -> Engine.Sor
+              | `Hotspot -> Engine.Hotspot
+              | `Lavamd -> Engine.Lavamd
+              | `Srad -> Engine.Srad);
+            x_size = size; x_max_lanes = lanes; x_device = device;
+            x_form = form; x_nki = nki; x_jobs = jobs;
+            x_prune = not no_prune; x_retries = retries;
+            x_deadline_s = deadline; x_best_effort = best_effort;
+            x_checkpoint = checkpoint; x_checkpoint_every = checkpoint_every;
+            x_resume = resume;
+          }
+      in
+      match Engine.submit ?on_progress (Lazy.force engine) req with
+      | Ok resp ->
           if progress then prerr_newline ();
           dump_flight ();
-          let pts = sw.Tytra_dse.Dse.sw_points in
-          let front = Tytra_dse.Dse.pareto pts in
-          traced "report" @@ fun () ->
-          List.iter (fun p -> Format.printf "%a@." Tytra_dse.Dse.pp_point p) pts;
-          List.iter
-            (fun b ->
-              Format.printf "%-16s pruned (%s): %a@."
-                (Tytra_front.Transform.to_string b.Tytra_dse.Dse.bp_variant)
-                (Tytra_dse.Dse.prune_reason_to_string b.Tytra_dse.Dse.bp_reason)
-                Tytra_cost.Bounds.pp b.Tytra_dse.Dse.bp_bounds)
-            sw.Tytra_dse.Dse.sw_bounded;
-          List.iter
-            (fun e -> Format.printf "%a@." Tytra_dse.Dse.pp_sweep_error e)
-            sw.Tytra_dse.Dse.sw_errors;
-          Format.printf "sweep: %a@." Tytra_dse.Dse.pp_sweep_stats
-            sw.Tytra_dse.Dse.sw_stats;
-          Format.printf "pareto front: %d of %d points@." (List.length front)
-            (List.length pts);
-          (match Tytra_dse.Dse.best pts with
-          | Some b ->
-              Format.printf "selected: %s@."
-                (Tytra_front.Transform.to_string b.Tytra_dse.Dse.dp_variant)
-          | None -> Format.printf "no valid variant@.");
+          print_string resp.Engine.rs_text;
           0
+      | Error e ->
+          (* crash (and fail-fast deadline-expiry) path: dump the ring
+             before reporting, as the pre-engine CLI did before the
+             exception escaped to [guarded] *)
+          (match e with Engine.Internal_error _ -> dump_flight () | _ -> ());
+          exit_of (Error (failure_of_engine_error e))
     end
   in
   Cmd.v
@@ -809,6 +740,64 @@ let tb_cmd =
        ~doc:"Emit Verilog plus a self-checking testbench with golden vectors")
     Term.(const run $ observability_term $ file_arg $ out_arg $ seed_arg)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let addr_arg =
+    Arg.(
+      value & opt string "127.0.0.1:9470"
+      & info [ "addr" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: HOST:PORT, :PORT, PORT (0 = ephemeral) or \
+             unix:PATH. The daemon announces the bound address on stderr.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains answering requests concurrently.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: connections queued beyond the busy \
+             workers. A full queue answers 429 immediately instead of \
+             building unbounded backlog.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Evaluation-pool domains the engine keeps for exploration \
+             requests (0 = one per core).")
+  in
+  let run () addr workers queue_cap jobs =
+    guarded @@ fun () ->
+    traced "serve" @@ fun () ->
+    let jobs = if jobs = 0 then Tytra_exec.Pool.default_jobs () else jobs in
+    match
+      Tytra_engine.Daemon.run
+        ~config:{ Engine.default_config with jobs }
+        ~workers:(max 1 workers) ~queue_cap:(max 1 queue_cap) ~addr ()
+    with
+    | () -> 0
+    | exception Failure m ->
+        (* an unusable listen address is an input error *)
+        exit_of (fail exit_parse "%s" m)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the cost model as a long-lived daemon: POST /v1/submit \
+          speaks the versioned JSON protocol (DESIGN.md §13); /metrics and \
+          /healthz answer on the same port. SIGTERM drains gracefully.")
+    Term.(
+      const run $ observability_term $ addr_arg $ workers_arg $ queue_cap_arg
+      $ jobs_arg)
+
 (* ---- import (legacy front ends) ---- *)
 
 let import_cmd =
@@ -892,6 +881,6 @@ let main_cmd =
        ~doc:"TyTra back-end compiler: cost models and code generation for \
              FPGA design-space exploration")
     [ check_cmd; cost_cmd; synth_cmd; sim_cmd; hdl_cmd; tb_cmd;
-      explore_cmd; import_cmd; bw_cmd ]
+      explore_cmd; import_cmd; bw_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -773,8 +773,8 @@ let sweep_many ~pool ?(restore = []) (configs : config list)
     bound records of every pruned candidate. [restore] (typically from
     {!load_checkpoint}) pre-fills the sweep with already-evaluated
     points, which are adopted without re-evaluation. *)
-let explore_sweep ?(config = default_config) ?restore (prog : Expr.program) :
-    sweep =
+let explore_sweep_in ~pool ?(config = default_config) ?restore
+    (prog : Expr.program) : sweep =
   Tytra_telemetry.Span.with_ ~name:"dse.explore"
     ~attrs:
       [ ("kernel", Tytra_telemetry.Span.Str prog.Expr.p_kernel.Expr.k_name);
@@ -786,16 +786,20 @@ let explore_sweep ?(config = default_config) ?restore (prog : Expr.program) :
   (* sweep_started / sweep_finished events are emitted by [sweep_many],
      which has the enumerated space at hand. *)
   let sw =
-    Tytra_exec.Pool.with_pool ~jobs:config.jobs (fun pool ->
-        match sweep_many ~pool ?restore [ config ] prog with
-        | [ sw ] -> sw
-        | _ -> assert false)
+    match sweep_many ~pool ?restore [ config ] prog with
+    | [ sw ] -> sw
+    | _ -> assert false
   in
   Log.info (fun m ->
       m "explored %s (max_lanes %d, jobs %d): %a"
         prog.Expr.p_kernel.Expr.k_name config.max_lanes config.jobs
         pp_sweep_stats sw.sw_stats);
   sw
+
+let explore_sweep ?(config = default_config) ?restore (prog : Expr.program) :
+    sweep =
+  Tytra_exec.Pool.with_pool ~jobs:config.jobs (fun pool ->
+      explore_sweep_in ~pool ~config ?restore prog)
 
 (** [explore ?config prog] — evaluated points of {!explore_sweep}, in
     enumeration order. With [config.prune] off this is the exhaustive

@@ -148,6 +148,18 @@ val explore_sweep :
     Restored points seed the pruning incumbent, so a resumed sweep's
     {!best} and {!pareto} equal an uninterrupted run's. *)
 
+val explore_sweep_in :
+  pool:Tytra_exec.Pool.t ->
+  ?config:config ->
+  ?restore:point list ->
+  Tytra_front.Expr.program ->
+  sweep
+(** {!explore_sweep} on a caller-owned pool instead of a fresh one — the
+    long-lived engine ([tybec serve]) shares one pool across requests.
+    The pool's width, not [config.jobs], governs the evaluation fan-out,
+    so pass a pool of exactly [config.jobs] domains to reproduce
+    {!explore_sweep} results under pruning. *)
+
 val explore : ?config:config -> Tytra_front.Expr.program -> point list
 (** Evaluated points of {!explore_sweep}, in enumeration order. With
     [config.prune = false] this is the exhaustive sweep, identical for

@@ -1,0 +1,62 @@
+(** DSE flight recorder: a bounded ring buffer of recent per-point
+    records.
+
+    Public interface of [Tytra_dse.Flightrec]. The recorder keeps the
+    last [capacity] per-point outcomes in a fixed-size mutex-guarded
+    ring: recording is O(1), memory is bounded, and {!dump} writes the
+    ring as JSONL oldest-first with a header line accounting for
+    anything overwritten. See [flightrec.ml] for the concurrency and
+    signal-safety notes. *)
+
+(** What happened to one candidate point. *)
+type outcome =
+  | Evaluated of {
+      fo_ekit : float;
+      fo_valid : bool;
+      fo_cached : bool;   (** served from the evaluation cache *)
+      fo_dur_ns : int64;  (** wall time of this evaluation *)
+    }
+  | Pruned of string   (** bound decision, e.g. "dominated (ekit_ub=…)" *)
+  | Failed of string   (** task error after exhausting retries *)
+  | Restored           (** adopted from a resume checkpoint *)
+
+type entry = {
+  fr_seq : int;        (** recording order, 0-based from {!enable} *)
+  fr_ts_ns : int64;
+  fr_variant : string; (** variant digest, e.g. "par8" *)
+  fr_outcome : outcome;
+}
+
+val enable : ?capacity:int -> unit -> unit
+(** [enable ?capacity ()] — arm the recorder with a fresh ring
+    (default capacity 256). *)
+
+val disable : unit -> unit
+(** Disarm and drop the ring; {!note} becomes a no-op again. *)
+
+val is_enabled : unit -> bool
+
+val note : variant:string -> outcome -> unit
+(** Append one record; a single mutable-bool check when disabled. *)
+
+val capacity : unit -> int
+(** Ring capacity (0 when disabled). *)
+
+val recorded : unit -> int
+(** Total records since {!enable}, retained or not. *)
+
+val overwritten : unit -> int
+(** Records overwritten since {!enable} (total minus retained). *)
+
+val entries : unit -> entry list
+(** Retained entries, oldest first — a consistent snapshot. *)
+
+val to_jsonl : unit -> string
+(** The ring as JSONL: one header line ([{"flight_recorder":…}] with
+    version, capacity and loss accounting) followed by the retained
+    entries, oldest first. *)
+
+val dump : string -> unit
+(** [dump path] — write {!to_jsonl} to [path] (truncating). Safe to call
+    from an OCaml signal handler (handlers run at safepoints, not in
+    async-signal context). *)

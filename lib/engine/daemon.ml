@@ -1,0 +1,73 @@
+(** [tybec serve] — the cost model as a long-lived service.
+
+    Mounts one {!Engine} behind the telemetry HTTP server
+    ({!Tytra_telemetry.Serve}): [POST /v1/submit] speaks the
+    {!Protocol} JSON codec, everything else falls through to the
+    built-in [/metrics], [/metrics.json] and [/healthz] routes, so one
+    port answers both work and observability traffic. Admission control
+    is the server's bounded worker queue: when it is full, connections
+    are answered [429] without touching the engine.
+
+    {!run} blocks until SIGTERM/SIGINT, then drains gracefully: the
+    listener stops accepting, every request already accepted is
+    answered, the workers join, and the accounting line is printed —
+    whereupon the CLI exits 0. *)
+
+module Serve = Tytra_telemetry.Serve
+
+let json_response status body =
+  {
+    Serve.rs_status = status;
+    rs_content_type = "application/json";
+    rs_body = body ^ "\n";
+  }
+
+let handler (eng : Engine.t) (rq : Serve.request) : Serve.response option =
+  match (rq.Serve.rq_meth, rq.Serve.rq_path) with
+  | "POST", "/v1/submit" ->
+      Some
+        (match Protocol.decode_request rq.Serve.rq_body with
+        | Error err ->
+            (json_response (Protocol.http_status err)
+               (Protocol.encode_error err))
+        | Ok d -> (
+            match
+              Engine.submit ?deadline_s:d.Protocol.dq_deadline_s
+                ~retries:d.Protocol.dq_retries eng d.Protocol.dq_request
+            with
+            | Ok resp ->
+                json_response 200
+                  (Protocol.encode_response
+                     ~op:(Engine.op_name d.Protocol.dq_request)
+                     resp)
+            | Error err ->
+                json_response (Protocol.http_status err)
+                  (Protocol.encode_error err)))
+  | "GET", "/v1/protocol" ->
+      Some
+        (json_response 200
+           (Printf.sprintf
+              {|{"v":%d,"ops":["check","cost","synth","sim","explore"]}|}
+              Protocol.version))
+  | _ -> None (* falls through to /metrics, /metrics.json, /healthz *)
+
+let run ?(config = Engine.default_config) ?(workers = 4) ?(queue_cap = 64)
+    ~addr () =
+  (* the service exists to be scraped: metrics are always live here *)
+  Tytra_telemetry.Control.set_enabled true;
+  let eng = Engine.create config in
+  let sv = Serve.start ~handler:(handler eng) ~workers ~queue_cap ~addr () in
+  Printf.eprintf "tybec: engine serving on %s (workers %d, queue %d)\n%!"
+    (Serve.bound_addr sv) workers queue_cap;
+  let stopping = Atomic.make false in
+  let on_stop = Sys.Signal_handle (fun _ -> Atomic.set stopping true) in
+  Sys.set_signal Sys.sigterm on_stop;
+  Sys.set_signal Sys.sigint on_stop;
+  while not (Atomic.get stopping) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  prerr_endline "tybec: drain: stopped accepting, answering in-flight requests";
+  Serve.stop sv;
+  Printf.eprintf "tybec: served %d requests (%d rejected)\n%!"
+    (Serve.requests_served sv)
+    (Serve.requests_rejected sv)

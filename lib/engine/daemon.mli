@@ -1,0 +1,25 @@
+(** [tybec serve] — the cost model as a long-lived service.
+
+    Public interface of [Tytra_engine.Daemon]. See [daemon.ml] for the
+    route table and drain contract. *)
+
+val handler : Engine.t -> Tytra_telemetry.Serve.handler
+(** The route table: [POST /v1/submit] (the {!Protocol} codec),
+    [GET /v1/protocol]; everything else falls through to the built-in
+    metrics routes. Exposed so tests can mount an engine on an
+    ephemeral-port server directly. *)
+
+val run :
+  ?config:Engine.config ->
+  ?workers:int ->
+  ?queue_cap:int ->
+  addr:string ->
+  unit ->
+  unit
+(** [run ?config ?workers ?queue_cap ~addr ()] — create an engine,
+    serve it on [addr] ([HOST:PORT], [:PORT], [PORT] or [unix:PATH])
+    with [workers] domains and a bounded queue of [queue_cap]
+    connections (full queue ⇒ 429), and block until SIGTERM/SIGINT.
+    On signal: graceful drain — stop accepting, answer everything
+    in flight, join, print the served/rejected accounting. Returns
+    normally so the CLI exits 0. *)

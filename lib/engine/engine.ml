@@ -1,0 +1,498 @@
+(** The cost-model engine: one typed front door for every tybec verb.
+
+    [tybec] subcommands used to own the whole request lifecycle — parse,
+    validate, resolve the device, evaluate, render. That worked for a
+    one-shot CLI but made every invocation pay the cold-start tax and
+    left nothing for a long-lived service to hold on to. This module
+    extracts the lifecycle behind a typed API:
+
+    - {!create} builds an engine holding the shared caches (a
+      content-addressed parse+validate cache here; the cost-model stage
+      caches and the DSE template/point caches are process-global and
+      warm up behind it) and a persistent {!Tytra_exec.Pool} for
+      exploration requests.
+    - {!submit} runs one typed {!request} to a typed {!response} or
+      {!error}. Requests never raise: parse and validation failures,
+      deadline expiry and escaped exceptions all come back as typed
+      errors with a stable {!exit_code} mapping.
+
+    The CLI is a thin adapter over this module (flags in, [rs_text]
+    out); [tybec serve] speaks the same API over the wire through
+    {!Protocol} and {!Daemon}. Byte-compatibility contract: [rs_text] is
+    exactly what the pre-engine CLI printed to stdout, rendered through
+    the same pretty-printers in the same order. *)
+
+module Ast = Tytra_ir.Ast
+module Cache = Tytra_exec.Cache
+module Task = Tytra_exec.Task
+module Pool = Tytra_exec.Pool
+module Span = Tytra_telemetry.Span
+module Metrics = Tytra_telemetry.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Where the design text comes from. [File] reads (and digests) the
+    file; [Inline] carries the TyTra-IR text in the request itself — the
+    natural shape for remote clients of [tybec serve]. *)
+type source = File of string | Inline of string
+
+(** Built-in kernels of the exploration front end. *)
+type kernel = Sor | Hotspot | Lavamd | Srad
+
+let kernel_to_string = function
+  | Sor -> "sor"
+  | Hotspot -> "hotspot"
+  | Lavamd -> "lavamd"
+  | Srad -> "srad"
+
+let kernel_of_string = function
+  | "sor" -> Some Sor
+  | "hotspot" -> Some Hotspot
+  | "lavamd" -> Some Lavamd
+  | "srad" -> Some Srad
+  | _ -> None
+
+(** Parameters of one exploration request — the typed twin of the
+    [tybec explore] flag set. *)
+type explore_params = {
+  x_kernel : kernel;
+  x_size : int;             (** grid side (sor/hotspot/srad) or boxes *)
+  x_max_lanes : int;
+  x_device : Tytra_device.Device.t;
+  x_form : Tytra_cost.Throughput.form;
+  x_nki : int;
+  x_jobs : int;             (** evaluation domains; 0 = one per core *)
+  x_prune : bool;
+  x_retries : int;          (** per-point retry budget *)
+  x_deadline_s : float option;  (** cooperative per-point deadline *)
+  x_best_effort : bool;     (** quarantine failed points, don't abort *)
+  x_checkpoint : string option;
+  x_checkpoint_every : int;
+  x_resume : string option;
+}
+
+type request =
+  | Check of { source : source }
+  | Cost of {
+      source : source;
+      device : Tytra_device.Device.t;
+      form : Tytra_cost.Throughput.form;
+      nki : int;
+      optimize : bool;
+      calib : string option;  (** calibration file path *)
+    }
+  | Synth of {
+      source : source;
+      device : Tytra_device.Device.t;
+      effort : [ `Fast | `Normal | `Full ];
+      optimize : bool;
+    }
+  | Sim of {
+      source : source;
+      device : Tytra_device.Device.t;
+      form : Tytra_cost.Throughput.form;
+      nki : int;
+      optimize : bool;
+    }
+  | Explore of explore_params
+
+let op_name = function
+  | Check _ -> "check"
+  | Cost _ -> "cost"
+  | Synth _ -> "synth"
+  | Sim _ -> "sim"
+  | Explore _ -> "explore"
+
+(* ------------------------------------------------------------------ *)
+(* Responses and errors                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Structured result fields, one constructor per request kind. *)
+type payload =
+  | Checked of { ck_design : string; ck_funcs : int; ck_streams : int }
+  | Costed of { co_ekit : float; co_valid : bool }
+  | Synthed of { sy_fmax_mhz : float; sy_synth_s : float }
+  | Simmed of { si_ekit : float; si_total_s : float }
+  | Explored of {
+      xr_space : int;
+      xr_evaluated : int;
+      xr_pruned : int;
+      xr_failed : int;
+      xr_restored : int;
+      xr_points : int;
+      xr_pareto : int;
+      xr_selected : string option;
+    }
+
+type response = {
+  rs_text : string;
+      (** the exact CLI stdout rendering of this result (the CLI prints
+          it verbatim; remote clients may ignore it) *)
+  rs_payload : payload;
+}
+
+type error =
+  | Bad_request of string      (** malformed request (wire decode, unknown device) *)
+  | Parse_error of string      (** source unreadable or not TyTra-IR *)
+  | Validation_error of string (** parsed but statically invalid *)
+  | Timeout_error of float     (** request-level cooperative deadline expired *)
+  | Internal_error of string   (** an exception escaped the evaluation *)
+  | Overloaded                 (** serve-side admission control shed this request *)
+
+(* The documented CLI contract (README "Exit codes"): 0 success,
+   1 internal, 2 parse/input, 3 validation. *)
+let exit_code = function
+  | Bad_request _ | Parse_error _ -> 2
+  | Validation_error _ -> 3
+  | Timeout_error _ | Internal_error _ | Overloaded -> 1
+
+let error_message = function
+  | Bad_request m | Parse_error m | Validation_error m | Internal_error m -> m
+  | Timeout_error allotted ->
+      Printf.sprintf "request deadline exceeded (%g s)" allotted
+  | Overloaded -> "engine overloaded, retry later"
+
+(** Stable machine-readable discriminator (the wire ["error"] field). *)
+let error_kind = function
+  | Bad_request _ -> "bad_request"
+  | Parse_error _ -> "parse"
+  | Validation_error _ -> "validation"
+  | Timeout_error _ -> "timeout"
+  | Internal_error _ -> "internal"
+  | Overloaded -> "overloaded"
+
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  jobs : int;  (** persistent evaluation-pool width for exploration *)
+  parse_cache_capacity : int;
+      (** entries in the content-addressed parse+validate cache *)
+}
+
+let default_config = { jobs = 1; parse_cache_capacity = 64 }
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  parse_cache : (Ast.design, Tytra_ir.Error.t) result Cache.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    pool = Pool.create ~jobs:(max 1 cfg.jobs) ();
+    parse_cache =
+      Cache.create ~metrics_prefix:"engine.parse_cache"
+        ~capacity:(max 1 cfg.parse_cache_capacity) ();
+  }
+
+let config t = t.cfg
+let parse_cache_stats t = Cache.stats t.parse_cache
+
+(* ------------------------------------------------------------------ *)
+(* Loading: content-addressed parse + validate                         *)
+(* ------------------------------------------------------------------ *)
+
+let validate_design d =
+  match Tytra_ir.Validate.check d with
+  | [] -> Ok d
+  | errs -> Error (Tytra_ir.Error.Invalid errs)
+
+(* The cache key includes the diagnostic name alongside the bytes:
+   located errors ("path:3: parse error ...") embed the path, so the
+   same bytes under two names must not share an entry. *)
+let load_design_ir t (src : source) : (Ast.design, Tytra_ir.Error.t) result =
+  match src with
+  | Inline text ->
+      let key = Cache.digest_key [ "inline"; text ] in
+      Cache.find_or_add t.parse_cache ~key (fun () ->
+          Result.bind (Tytra_ir.Parser.parse_result text) validate_design)
+  | File path -> (
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error msg -> Error (Tytra_ir.Error.Io { path; msg })
+      | text ->
+          let key = Cache.digest_key [ "file"; path; text ] in
+          Cache.find_or_add t.parse_cache ~key (fun () ->
+              Result.bind
+                (Tytra_ir.Parser.parse_result
+                   ~name:(Filename.remove_extension (Filename.basename path))
+                   ~file:path text)
+                validate_design))
+
+let error_of_ir (e : Tytra_ir.Error.t) =
+  match e with
+  | Tytra_ir.Error.Invalid _ -> Validation_error (Tytra_ir.Error.to_string e)
+  | Tytra_ir.Error.Lex _ | Tytra_ir.Error.Parse _ | Tytra_ir.Error.Io _ ->
+      Parse_error (Tytra_ir.Error.to_string e)
+
+let load_design t src = Result.map_error error_of_ir (load_design_ir t src)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every renderer writes into a fresh buffer formatter with the default
+   geometry — the same margins [Format.printf] used when the CLI printed
+   these reports directly, so [rs_text] stays byte-identical. *)
+let render f =
+  let b = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer b in
+  let v = f fmt in
+  Format.pp_print_flush fmt ();
+  (Buffer.contents b, v)
+
+let maybe_optimize opt d =
+  if opt then begin
+    let d', st = Tytra_ir.Optim.run d in
+    Logs.info (fun m -> m "optimizer: %a" Tytra_ir.Optim.pp_stats st);
+    d'
+  end
+  else d
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let do_check t ~source =
+  let* d = load_design t source in
+  let text, () =
+    render (fun fmt ->
+        Format.fprintf fmt "%s: valid TyTra-IR design (%d functions, %d streams)@."
+          d.Ast.d_name
+          (List.length d.Ast.d_funcs)
+          (List.length d.Ast.d_streams);
+        Format.fprintf fmt "%a@."
+          (fun fmt n -> Tytra_ir.Config_tree.pp_node fmt n)
+          (Tytra_ir.Config_tree.build d))
+  in
+  Ok
+    {
+      rs_text = text;
+      rs_payload =
+        Checked
+          {
+            ck_design = d.Ast.d_name;
+            ck_funcs = List.length d.Ast.d_funcs;
+            ck_streams = List.length d.Ast.d_streams;
+          };
+    }
+
+let load_calib = function
+  | None -> Ok None
+  | Some f ->
+      (* a calibration file that does not parse is an input error, same
+         class as a bad .tirl *)
+      Result.map Option.some
+        (Result.map_error (fun m -> Parse_error m) (Tytra_device.Calib_io.load f))
+
+let do_cost t ~source ~device ~form ~nki ~optimize ~calib:calib_file =
+  let* d = load_design t source in
+  let* calib = load_calib calib_file in
+  let d = maybe_optimize optimize d in
+  let r = Tytra_cost.Report.evaluate ~device ?calib ~form ~nki d in
+  Task.check ();
+  let text, () =
+    Span.with_ ~name:"tybec.report" @@ fun () ->
+    render (fun fmt ->
+        Format.fprintf fmt "%a@." Tytra_cost.Report.pp r;
+        Format.fprintf fmt "form selection:@.%a@." Tytra_cost.Formsel.pp
+          (Tytra_cost.Formsel.recommend ~device ?calib ~nki d);
+        Format.fprintf fmt "@.roofline: %a@." Tytra_cost.Roofline.pp
+          (Tytra_cost.Roofline.of_design ~device ?calib ~form ~nki d))
+  in
+  Ok
+    {
+      rs_text = text;
+      rs_payload =
+        Costed
+          {
+            co_ekit =
+              r.Tytra_cost.Report.rp_breakdown.Tytra_cost.Throughput.bd_ekit;
+            co_valid = r.Tytra_cost.Report.rp_valid;
+          };
+    }
+
+let do_synth t ~source ~device ~effort ~optimize =
+  let* d = load_design t source in
+  let d = maybe_optimize optimize d in
+  let t0 = Unix.gettimeofday () in
+  let r = Tytra_sim.Techmap.run ~device ~effort d in
+  let dt = Unix.gettimeofday () -. t0 in
+  Task.check ();
+  let text, () =
+    render (fun fmt ->
+        Format.fprintf fmt "%a@." Tytra_sim.Techmap.pp_report r;
+        Format.fprintf fmt "synthesis time: %.2f s@." dt)
+  in
+  Ok
+    {
+      rs_text = text;
+      rs_payload =
+        Synthed
+          { sy_fmax_mhz = r.Tytra_sim.Techmap.tm_fmax_mhz; sy_synth_s = dt };
+    }
+
+let do_sim t ~source ~device ~form ~nki ~optimize =
+  let* d = load_design t source in
+  let sform =
+    match form with
+    | Tytra_cost.Throughput.FormA -> Tytra_sim.Cyclesim.A
+    | Tytra_cost.Throughput.FormB -> Tytra_sim.Cyclesim.B
+    | Tytra_cost.Throughput.FormC -> Tytra_sim.Cyclesim.C
+  in
+  let d = maybe_optimize optimize d in
+  let r = Tytra_sim.Cyclesim.run ~device ~form:sform ~nki d in
+  Task.check ();
+  let text, () =
+    render (fun fmt -> Format.fprintf fmt "%a@." Tytra_sim.Cyclesim.pp_result r)
+  in
+  Ok
+    {
+      rs_text = text;
+      rs_payload =
+        Simmed
+          {
+            si_ekit = r.Tytra_sim.Cyclesim.r_ekit;
+            si_total_s = r.Tytra_sim.Cyclesim.r_total_s;
+          };
+    }
+
+let program_of = function
+  | { x_kernel = Sor; x_size = s; _ } ->
+      Tytra_kernels.Sor.program ~im:s ~jm:s ~km:s ()
+  | { x_kernel = Hotspot; x_size = s; _ } ->
+      Tytra_kernels.Hotspot.program ~rows:s ~cols:s ()
+  | { x_kernel = Lavamd; x_size = s; _ } ->
+      Tytra_kernels.Lavamd.program ~boxes:s ()
+  | { x_kernel = Srad; x_size = s; _ } ->
+      Tytra_kernels.Srad.program ~rows:s ~cols:s ()
+
+let do_explore t ?on_progress (x : explore_params) =
+  let module Dse = Tytra_dse.Dse in
+  let prog = program_of x in
+  let jobs = if x.x_jobs = 0 then Pool.default_jobs () else x.x_jobs in
+  let config =
+    { Dse.default_config with
+      device = x.x_device; form = x.x_form; nki = x.x_nki;
+      max_lanes = x.x_max_lanes; jobs; prune = x.x_prune;
+      max_attempts = 1 + max 0 x.x_retries; deadline_s = x.x_deadline_s;
+      fail_fast = not x.x_best_effort; checkpoint = x.x_checkpoint;
+      checkpoint_every = x.x_checkpoint_every; on_progress }
+  in
+  let* restore, resumed =
+    match x.x_resume with
+    | None -> Ok (None, None)
+    | Some path -> (
+        match Dse.load_checkpoint ~path config prog with
+        | Ok pts -> Ok (Some pts, Some (List.length pts, path))
+        | Error m -> Error (Parse_error m))
+  in
+  (* Exploration shares the engine's persistent pool when the requested
+     width matches; an explicit -j N gets its own width (the surviving
+     point set under pruning is jobs-dependent, so the width must honor
+     the request exactly). *)
+  let pool =
+    if jobs = Pool.jobs t.pool then t.pool else Pool.create ~jobs ()
+  in
+  let sw = Dse.explore_sweep_in ~pool ~config ?restore prog in
+  let pts = sw.Dse.sw_points in
+  let front = Dse.pareto pts in
+  let text, selected =
+    Span.with_ ~name:"tybec.report" @@ fun () ->
+    render (fun fmt ->
+        (match resumed with
+        | Some (n, path) ->
+            Format.fprintf fmt "resumed %d points from %s@." n path
+        | None -> ());
+        List.iter (fun p -> Format.fprintf fmt "%a@." Dse.pp_point p) pts;
+        List.iter
+          (fun b ->
+            Format.fprintf fmt "%-16s pruned (%s): %a@."
+              (Tytra_front.Transform.to_string b.Dse.bp_variant)
+              (Dse.prune_reason_to_string b.Dse.bp_reason)
+              Tytra_cost.Bounds.pp b.Dse.bp_bounds)
+          sw.Dse.sw_bounded;
+        List.iter
+          (fun e -> Format.fprintf fmt "%a@." Dse.pp_sweep_error e)
+          sw.Dse.sw_errors;
+        Format.fprintf fmt "sweep: %a@." Dse.pp_sweep_stats sw.Dse.sw_stats;
+        Format.fprintf fmt "pareto front: %d of %d points@."
+          (List.length front) (List.length pts);
+        match Dse.best pts with
+        | Some b ->
+            let s = Tytra_front.Transform.to_string b.Dse.dp_variant in
+            Format.fprintf fmt "selected: %s@." s;
+            Some s
+        | None ->
+            Format.fprintf fmt "no valid variant@.";
+            None)
+  in
+  let st = sw.Dse.sw_stats in
+  Ok
+    {
+      rs_text = text;
+      rs_payload =
+        Explored
+          {
+            xr_space = st.Dse.ss_space;
+            xr_evaluated = st.Dse.ss_evaluated;
+            xr_pruned = st.Dse.ss_pruned_resource + st.Dse.ss_pruned_incumbent;
+            xr_failed = st.Dse.ss_failed;
+            xr_restored = st.Dse.ss_restored;
+            xr_points = List.length pts;
+            xr_pareto = List.length front;
+            xr_selected = selected;
+          };
+    }
+
+let dispatch t ?on_progress = function
+  | Check { source } -> do_check t ~source
+  | Cost { source; device; form; nki; optimize; calib } ->
+      do_cost t ~source ~device ~form ~nki ~optimize ~calib
+  | Synth { source; device; effort; optimize } ->
+      do_synth t ~source ~device ~effort ~optimize
+  | Sim { source; device; form; nki; optimize } ->
+      do_sim t ~source ~device ~form ~nki ~optimize
+  | Explore x -> do_explore t ?on_progress x
+
+let submit ?deadline_s ?(retries = 0) ?on_progress t req =
+  Metrics.incr "engine.requests";
+  Span.with_ ~name:"engine.submit"
+    ~attrs:[ ("op", Span.Str (op_name req)) ]
+  @@ fun () ->
+  let attempt () =
+    match
+      Task.with_context ?deadline_s (fun () -> dispatch t ?on_progress req)
+    with
+    | r -> r
+    | exception Task.Timeout allotted when deadline_s <> None ->
+        (* only the request-level deadline is reported as a timeout; a
+           per-point deadline escaping a fail-fast sweep keeps its
+           historical internal-error shape *)
+        Error (Timeout_error allotted)
+    | exception e -> Error (Internal_error (Printexc.to_string e))
+  in
+  let rec go n =
+    match attempt () with
+    | Ok _ as ok -> ok
+    | Error (Internal_error _ | Timeout_error _) when n < retries ->
+        (* transient-class failures burn the retry budget; parse and
+           validation errors are deterministic and fail immediately *)
+        Metrics.incr "engine.retries";
+        go (n + 1)
+    | Error _ as e ->
+        Metrics.incr "engine.errors";
+        e
+  in
+  go 0

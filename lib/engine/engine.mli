@@ -1,0 +1,160 @@
+(** Cost-model engine: the typed request lifecycle behind every tybec
+    verb.
+
+    Public interface of [Tytra_engine.Engine]. {!create} an engine once,
+    {!submit} any number of typed requests against it: the engine holds
+    the shared warm state (content-addressed parse+validate cache, a
+    persistent evaluation pool; the cost-model stage caches and DSE
+    caches are process-global and warm up behind it), so a long-lived
+    process answers repeat requests at cache speed. The CLI adapters and
+    [tybec serve] are both thin layers over this module.
+
+    [submit] never raises: every failure mode is a typed {!error} with a
+    stable {!exit_code} mapping matching the documented CLI contract.
+    [rs_text] in a {!response} is byte-identical to what the pre-engine
+    CLI printed for the same request. *)
+
+(** {2 Requests} *)
+
+type source =
+  | File of string    (** read the design from this path *)
+  | Inline of string  (** TyTra-IR text carried in the request *)
+
+type kernel = Sor | Hotspot | Lavamd | Srad
+
+val kernel_to_string : kernel -> string
+val kernel_of_string : string -> kernel option
+
+type explore_params = {
+  x_kernel : kernel;
+  x_size : int;             (** grid side (sor/hotspot/srad) or boxes *)
+  x_max_lanes : int;
+  x_device : Tytra_device.Device.t;
+  x_form : Tytra_cost.Throughput.form;
+  x_nki : int;
+  x_jobs : int;             (** evaluation domains; 0 = one per core *)
+  x_prune : bool;
+  x_retries : int;          (** per-point retry budget *)
+  x_deadline_s : float option;  (** cooperative per-point deadline *)
+  x_best_effort : bool;     (** quarantine failed points, don't abort *)
+  x_checkpoint : string option;
+  x_checkpoint_every : int;
+  x_resume : string option;
+}
+
+type request =
+  | Check of { source : source }
+  | Cost of {
+      source : source;
+      device : Tytra_device.Device.t;
+      form : Tytra_cost.Throughput.form;
+      nki : int;
+      optimize : bool;
+      calib : string option;
+    }
+  | Synth of {
+      source : source;
+      device : Tytra_device.Device.t;
+      effort : [ `Fast | `Normal | `Full ];
+      optimize : bool;
+    }
+  | Sim of {
+      source : source;
+      device : Tytra_device.Device.t;
+      form : Tytra_cost.Throughput.form;
+      nki : int;
+      optimize : bool;
+    }
+  | Explore of explore_params
+
+val op_name : request -> string
+(** "check", "cost", "synth", "sim" or "explore" — the wire ["op"]. *)
+
+(** {2 Responses and errors} *)
+
+type payload =
+  | Checked of { ck_design : string; ck_funcs : int; ck_streams : int }
+  | Costed of { co_ekit : float; co_valid : bool }
+  | Synthed of { sy_fmax_mhz : float; sy_synth_s : float }
+  | Simmed of { si_ekit : float; si_total_s : float }
+  | Explored of {
+      xr_space : int;
+      xr_evaluated : int;
+      xr_pruned : int;
+      xr_failed : int;
+      xr_restored : int;
+      xr_points : int;
+      xr_pareto : int;
+      xr_selected : string option;
+    }
+
+type response = {
+  rs_text : string;    (** exact CLI stdout rendering of the result *)
+  rs_payload : payload;
+}
+
+type error =
+  | Bad_request of string
+  | Parse_error of string
+  | Validation_error of string
+  | Timeout_error of float
+  | Internal_error of string
+  | Overloaded
+
+val exit_code : error -> int
+(** The CLI contract: 2 for bad input/parse, 3 for validation, 1 for
+    internal/timeout/overload. *)
+
+val error_message : error -> string
+
+val error_kind : error -> string
+(** Stable machine-readable discriminator (the wire ["error"] field):
+    "bad_request", "parse", "validation", "timeout", "internal",
+    "overloaded". *)
+
+(** {2 Lifecycle} *)
+
+type config = {
+  jobs : int;  (** persistent evaluation-pool width for exploration *)
+  parse_cache_capacity : int;
+}
+
+val default_config : config
+(** [jobs = 1], 64 parse-cache entries. *)
+
+type t
+(** A running engine: configuration, persistent pool and caches. *)
+
+val create : config -> t
+
+val config : t -> config
+
+val parse_cache_stats : t -> Tytra_exec.Cache.stats
+(** Hit/miss/eviction statistics of the content-addressed
+    parse+validate cache (also published as [engine.parse_cache.*]
+    telemetry counters). *)
+
+val submit :
+  ?deadline_s:float ->
+  ?retries:int ->
+  ?on_progress:(Tytra_dse.Dse.progress -> unit) ->
+  t ->
+  request ->
+  (response, error) result
+(** [submit ?deadline_s ?retries ?on_progress t req] — run one request
+    to completion. [deadline_s] arms a request-level cooperative
+    deadline ({!Tytra_exec.Task.with_context}); [retries] re-runs the
+    request on transient-class failures (internal errors and timeouts —
+    parse/validation errors are deterministic and never retried);
+    [on_progress] receives live sweep coverage for [Explore] requests.
+    Never raises. *)
+
+val load_design :
+  t -> source -> (Tytra_ir.Ast.design, error) result
+(** Parse + validate a source through the engine's content-addressed
+    cache — the shared preamble of every design-consuming subcommand
+    (the HDL/testbench emitters use it directly). *)
+
+val maybe_optimize : bool -> Tytra_ir.Ast.design -> Tytra_ir.Ast.design
+(** [maybe_optimize true d] — the optimization-pass preamble shared by
+    every [-O]-accepting request (logs the pass statistics at info). *)

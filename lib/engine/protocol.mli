@@ -1,0 +1,67 @@
+(** Versioned JSON wire codec for {!Engine} requests and responses.
+
+    Public interface of [Tytra_engine.Protocol]. One request or response
+    is one JSON object carrying [{"v":1}]; decoding is total — malformed
+    bytes of any shape come back as [Engine.Bad_request], never an
+    exception. Schema documented in DESIGN.md §13. *)
+
+val version : int
+(** Protocol version stamped into (and required of) every message. *)
+
+(** {2 Requests} *)
+
+val encode_request :
+  ?deadline_s:float -> ?retries:int -> Engine.request -> string
+(** One JSON object for the request, including the envelope fields
+    ([deadline_s]/[retries] are the request-level budget passed to
+    [Engine.submit]; omitted when absent/zero). *)
+
+(** A decoded request: the typed operation plus its envelope. *)
+type decoded_request = {
+  dq_request : Engine.request;
+  dq_deadline_s : float option;
+  dq_retries : int;
+}
+
+val decode_request : string -> (decoded_request, Engine.error) result
+(** Inverse of {!encode_request}. Missing optional fields take the CLI
+    defaults (device, form B, nki 1, ...); unknown fields are ignored;
+    every malformed input is an [Engine.Bad_request]. *)
+
+(** {2 Responses} *)
+
+val encode_response : op:string -> Engine.response -> string
+(** [{"v":1,"status":"ok","op":…,"text":…,"data":{…}}] — [text] is the
+    exact CLI rendering, [data] the structured payload fields. *)
+
+val encode_error : Engine.error -> string
+(** [{"v":1,"status":"error","error":…,"exit_code":…,"message":…}]. *)
+
+val http_status : Engine.error -> int
+(** HTTP status for an error reply: 400 bad request, 422 rejected
+    design (parse/validation), 429 shed load, 504 deadline, 500
+    internal. *)
+
+(** What a client gets back from one exchange. *)
+type reply =
+  | Reply_ok of {
+      rp_op : string;
+      rp_text : string;
+      rp_data : Tytra_telemetry.Jsenc.t;
+    }
+  | Reply_error of {
+      re_kind : string;      (** [Engine.error_kind] discriminator *)
+      re_exit_code : int;
+      re_message : string;
+    }
+
+val decode_reply : string -> (reply, string) result
+(** Decode a response body (inverse of {!encode_response} and
+    {!encode_error}). *)
+
+(** {2 Field codecs} (shared with tests) *)
+
+val form_to_string : Tytra_cost.Throughput.form -> string
+val form_of_string : string -> Tytra_cost.Throughput.form option
+val effort_to_string : [ `Fast | `Normal | `Full ] -> string
+val effort_of_string : string -> [ `Fast | `Normal | `Full ] option

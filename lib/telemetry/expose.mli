@@ -1,0 +1,31 @@
+(** Prometheus-style text exposition of the metrics registry.
+
+    Public interface of [Tytra_telemetry.Expose]. Renders the whole
+    registry (from one consistent {!Metrics.snapshot}) as Prometheus
+    text, as stable sorted JSON, and as the versioned [perf_profile]
+    section that [scripts/perf_guard.py] gates on. *)
+
+val render : unit -> string
+(** The whole registry in Prometheus text exposition format 0.0.4:
+    counters and gauges as single samples, histograms as summaries.
+    Metric names are sanitized — dots become underscores, everything
+    gets a [tytra_] prefix — so [dse.points_evaluated] exposes as
+    [tytra_dse_points_evaluated]. *)
+
+val registry_json : unit -> string
+(** The registry as stable sorted JSON (same shape as
+    [Metrics.to_json]; the [--metrics-json FILE] payload —
+    byte-identical across runs with identical counters, so CI can diff
+    it). *)
+
+val write_registry_json : string -> unit
+(** [write_registry_json path] — dump {!registry_json} to [path]. *)
+
+val perf_profile_version : int
+(** Version of the [perf_profile] payload in bench [--json] reports.
+    Bumped when the shape (not the counter set) changes. *)
+
+val perf_profile_json : unit -> string
+(** Versioned machine-readable work-counter profile: every registered
+    counter, sorted by name, values as exact integers where integral.
+    [scripts/perf_guard.py] gates on this with exact equality. *)

@@ -1,0 +1,66 @@
+(** Minimal HTTP/Unix-socket server: metrics snapshots and custom
+    handlers.
+
+    Public interface of [Tytra_telemetry.Serve]. See [serve.ml] for the
+    accept-loop, worker-handoff and drain contracts. Out of the box a
+    server answers [GET /metrics], [GET /metrics.json] and
+    [GET /healthz] from the live registry; a custom {!handler} is
+    consulted first and falls through to those routes when it returns
+    [None]. *)
+
+(** One parsed HTTP request, as passed to a {!handler}. *)
+type request = {
+  rq_meth : string;  (** "GET", "POST", ... (uppercased) *)
+  rq_path : string;  (** path component of the request line *)
+  rq_body : string;  (** request body ("" when absent) *)
+}
+
+(** What a {!handler} answers with. *)
+type response = {
+  rs_status : int;  (** 200, 400, 404, 429, 500, ... *)
+  rs_content_type : string;
+  rs_body : string;
+}
+
+type handler = request -> response option
+(** [None] falls through to the built-in metrics routes (and their 404).
+    An exception from a handler is answered as a 500, never crashes a
+    worker. *)
+
+type server
+(** A running server: listening socket, accept domain and (optionally)
+    worker domains. Opaque — lifecycle goes through {!start}/{!stop}. *)
+
+val start :
+  ?handler:handler ->
+  ?workers:int ->
+  ?queue_cap:int ->
+  addr:string ->
+  unit ->
+  server
+(** [start ?handler ?workers ?queue_cap ~addr ()] — bind, listen and serve
+    on background domains. [addr] is [HOST:PORT], [:PORT], [PORT] (TCP;
+    port 0 = ephemeral) or [unix:PATH]. Raises [Failure] on an unusable
+    address.
+
+    With [workers = 0] (default) the accept loop serves one request at a
+    time — the metrics-scrape configuration. With [workers = n > 0],
+    accepted connections are handed to a bounded queue ([queue_cap],
+    default 64) drained by [n] worker domains; when the queue is full
+    the connection is answered [429 Too Many Requests] immediately
+    (admission control). *)
+
+val stop : server -> unit
+(** Graceful drain: stop accepting, answer every connection already
+    accepted, join all domains, close the socket (and unlink a Unix
+    socket path). Idempotent enough for an [at_exit] hook. *)
+
+val bound_addr : server -> string
+(** The bound address, e.g. "127.0.0.1:9464" — with port 0, the
+    ephemeral port actually assigned. *)
+
+val requests_served : server -> int
+(** Connections answered (including error responses) since {!start}. *)
+
+val requests_rejected : server -> int
+(** Connections shed with a 429 because the queue was full. *)

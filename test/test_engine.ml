@@ -1,0 +1,687 @@
+(* The engine and its wire protocol: codec round-trips, totality on
+   malformed bytes (the PR-5 fuzz corpus extended to the request codec),
+   CLI byte-compatibility, warm-cache behavior, concurrent mixed-kernel
+   clients, and the serve loop (routing, admission control, drain). *)
+
+module Engine = Tytra_engine.Engine
+module Protocol = Tytra_engine.Protocol
+module Daemon = Tytra_engine.Daemon
+module Serve = Tytra_telemetry.Serve
+
+let dev = Tytra_device.Device.stratixv_gsd8
+
+let sor_inline =
+  let prog = Tytra_kernels.Sor.program ~im:8 ~jm:8 ~km:8 () in
+  let d = Tytra_front.Lower.lower prog Tytra_front.Transform.Pipe in
+  Format.asprintf "%a" Tytra_ir.Pprint.pp_design d
+
+let hotspot_inline =
+  let prog = Tytra_kernels.Hotspot.program ~rows:8 ~cols:8 () in
+  let d = Tytra_front.Lower.lower prog Tytra_front.Transform.Pipe in
+  Format.asprintf "%a" Tytra_ir.Pprint.pp_design d
+
+let requests_under_test : (string * Engine.request) list =
+  [
+    ("check", Engine.Check { source = Engine.Inline sor_inline });
+    ( "cost",
+      Engine.Cost
+        {
+          source = Engine.File "x.tirl";
+          device = dev;
+          form = Tytra_cost.Throughput.FormA;
+          nki = 10;
+          optimize = true;
+          calib = Some "c.json";
+        } );
+    ( "synth",
+      Engine.Synth
+        {
+          source = Engine.Inline "design";
+          device = dev;
+          effort = `Fast;
+          optimize = false;
+        } );
+    ( "sim",
+      Engine.Sim
+        {
+          source = Engine.File "y.tirl";
+          device = dev;
+          form = Tytra_cost.Throughput.FormC;
+          nki = 3;
+          optimize = false;
+        } );
+    ( "explore",
+      Engine.Explore
+        {
+          Engine.x_kernel = Engine.Hotspot;
+          x_size = 8;
+          x_max_lanes = 4;
+          x_device = dev;
+          x_form = Tytra_cost.Throughput.FormB;
+          x_nki = 2;
+          x_jobs = 2;
+          x_prune = false;
+          x_retries = 1;
+          x_deadline_s = Some 2.5;
+          x_best_effort = true;
+          x_checkpoint = Some "/tmp/ck";
+          x_checkpoint_every = 8;
+          x_resume = None;
+        } );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun (name, req) ->
+      let wire = Protocol.encode_request ~deadline_s:1.5 ~retries:2 req in
+      match Protocol.decode_request wire with
+      | Error e ->
+          Alcotest.failf "decode(%s) failed: %s" name (Engine.error_message e)
+      | Ok d ->
+          Alcotest.(check string)
+            (name ^ " op survives") (Engine.op_name req)
+            (Engine.op_name d.Protocol.dq_request);
+          Alcotest.(check (option (float 1e-9)))
+            (name ^ " deadline survives") (Some 1.5) d.Protocol.dq_deadline_s;
+          Alcotest.(check int)
+            (name ^ " retries survive") 2 d.Protocol.dq_retries;
+          (* re-encoding the decoded request reproduces the wire bytes:
+             the codec loses nothing *)
+          Alcotest.(check string)
+            (name ^ " re-encode is stable") wire
+            (Protocol.encode_request ~deadline_s:1.5 ~retries:2
+               d.Protocol.dq_request))
+    requests_under_test
+
+let test_defaults_fill_in () =
+  match
+    Protocol.decode_request {|{"v":1,"op":"cost","source":{"inline":"x"}}|}
+  with
+  | Error e -> Alcotest.failf "decode failed: %s" (Engine.error_message e)
+  | Ok d -> (
+      Alcotest.(check (option (float 0.))) "no deadline" None
+        d.Protocol.dq_deadline_s;
+      Alcotest.(check int) "no retries" 0 d.Protocol.dq_retries;
+      match d.Protocol.dq_request with
+      | Engine.Cost { device; form; nki; optimize; calib; _ } ->
+          Alcotest.(check string) "default device"
+            dev.Tytra_device.Device.dev_name
+            device.Tytra_device.Device.dev_name;
+          Alcotest.(check string) "default form" "B"
+            (Protocol.form_to_string form);
+          Alcotest.(check int) "default nki" 1 nki;
+          Alcotest.(check bool) "default optimize" false optimize;
+          Alcotest.(check (option string)) "default calib" None calib
+      | _ -> Alcotest.fail "expected a cost request")
+
+let expect_bad_request what body =
+  match Protocol.decode_request body with
+  | Error (Engine.Bad_request _) -> ()
+  | Error e ->
+      Alcotest.failf "%s: expected Bad_request, got %s" what
+        (Engine.error_kind e)
+  | Ok _ -> Alcotest.failf "%s: decode accepted malformed input" what
+  | exception e ->
+      Alcotest.failf "%s: decode raised %s" what (Printexc.to_string e)
+
+let test_malformed_requests () =
+  List.iter
+    (fun (what, body) -> expect_bad_request what body)
+    [
+      ("empty", "");
+      ("not json", "hunter2");
+      ("truncated", "{\"v\":1,");
+      ("null", "null");
+      ("array", "[1,2,3]");
+      ("no version", {|{"op":"check","source":{"path":"x"}}|});
+      ("future version", {|{"v":2,"op":"check","source":{"path":"x"}}|});
+      ("no op", {|{"v":1}|});
+      ("unknown op", {|{"v":1,"op":"transmogrify"}|});
+      ("no source", {|{"v":1,"op":"check"}|});
+      ("empty source", {|{"v":1,"op":"check","source":{}}|});
+      ( "both sources",
+        {|{"v":1,"op":"check","source":{"path":"x","inline":"y"}}|} );
+      ("bad device", {|{"v":1,"op":"cost","source":{"path":"x"},"device":"pdp11"}|});
+      ("bad form", {|{"v":1,"op":"cost","source":{"path":"x"},"form":"Z"}|});
+      ("bad nki type", {|{"v":1,"op":"cost","source":{"path":"x"},"nki":"many"}|});
+      ("fractional nki", {|{"v":1,"op":"cost","source":{"path":"x"},"nki":1.5}|});
+      ("bad kernel", {|{"v":1,"op":"explore","kernel":"mandelbrot"}|});
+      ("bad effort", {|{"v":1,"op":"synth","source":{"path":"x"},"effort":"heroic"}|});
+      ("binary", "\x00\x01\xff\xfe{\"v\":1}");
+    ]
+
+(* PR-5 fuzz posture extended to the request codec: the .tirl fuzz
+   corpus (nasty non-JSON bytes) plus deterministic random bytes must
+   all come back as typed errors, never exceptions. *)
+let corpus_dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_codec_fuzz_corpus () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".tirl")
+  |> List.iter (fun f ->
+         let bytes = read_file (Filename.concat corpus_dir f) in
+         match Protocol.decode_request bytes with
+         | Ok _ | Error _ -> ()
+         | exception e ->
+             Alcotest.failf "decode_request raised %s on corpus %s"
+               (Printexc.to_string e) f)
+
+let codec_total_qcheck =
+  QCheck.Test.make ~count:500 ~name:"decode_request is total on random bytes"
+    QCheck.(string_of_size (Gen.int_bound 200))
+    (fun s ->
+      match Protocol.decode_request s with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let test_reply_roundtrip () =
+  let resp =
+    {
+      Engine.rs_text = "line one\nline \"two\"\n";
+      rs_payload = Engine.Costed { co_ekit = 123.5; co_valid = true };
+    }
+  in
+  (match Protocol.decode_reply (Protocol.encode_response ~op:"cost" resp) with
+  | Ok (Protocol.Reply_ok { rp_op; rp_text; _ }) ->
+      Alcotest.(check string) "op" "cost" rp_op;
+      Alcotest.(check string) "text" resp.Engine.rs_text rp_text
+  | Ok _ -> Alcotest.fail "expected an ok reply"
+  | Error m -> Alcotest.failf "decode_reply failed: %s" m);
+  match
+    Protocol.decode_reply
+      (Protocol.encode_error (Engine.Validation_error "bad port"))
+  with
+  | Ok (Protocol.Reply_error { re_kind; re_exit_code; re_message }) ->
+      Alcotest.(check string) "kind" "validation" re_kind;
+      Alcotest.(check int) "exit code" 3 re_exit_code;
+      Alcotest.(check string) "message" "bad port" re_message
+  | Ok _ -> Alcotest.fail "expected an error reply"
+  | Error m -> Alcotest.failf "decode_reply failed: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Engine semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let find_existing candidates = List.find_opt Sys.file_exists candidates
+
+let example_tirl () =
+  find_existing
+    [ "../../../examples/ir/sor_c2.tirl"; "examples/ir/sor_c2.tirl" ]
+
+let tybec_exe () =
+  find_existing [ "../bin/tybec.exe"; "_build/default/bin/tybec.exe" ]
+
+let command_stdout cmd =
+  let ic = Unix.open_process_in cmd in
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  Buffer.contents b
+
+(* The byte-compatibility contract: [rs_text] is exactly what the CLI
+   prints for the same request (the CLI being a print-through adapter). *)
+let test_text_matches_cli () =
+  match (tybec_exe (), example_tirl ()) with
+  | Some tybec, Some example ->
+      let eng = Engine.create Engine.default_config in
+      List.iter
+        (fun (verb, req) ->
+          let cli =
+            command_stdout
+              (Printf.sprintf "%s %s %s 2>/dev/null" (Filename.quote tybec)
+                 verb (Filename.quote example))
+          in
+          match Engine.submit eng req with
+          | Ok resp ->
+              Alcotest.(check string)
+                (verb ^ " text = CLI stdout") cli resp.Engine.rs_text
+          | Error e ->
+              Alcotest.failf "%s failed: %s" verb (Engine.error_message e))
+        [
+          ("check", Engine.Check { source = Engine.File example });
+          ( "cost",
+            Engine.Cost
+              {
+                source = Engine.File example;
+                device = dev;
+                form = Tytra_cost.Throughput.FormB;
+                nki = 1;
+                optimize = false;
+                calib = None;
+              } );
+          ( "sim",
+            Engine.Sim
+              {
+                source = Engine.File example;
+                device = dev;
+                form = Tytra_cost.Throughput.FormB;
+                nki = 1;
+                optimize = false;
+              } );
+        ]
+  | _ -> Alcotest.skip ()
+
+let cost_inline src =
+  Engine.Cost
+    {
+      source = Engine.Inline src;
+      device = dev;
+      form = Tytra_cost.Throughput.FormB;
+      nki = 1;
+      optimize = false;
+      calib = None;
+    }
+
+let test_parse_cache_warms () =
+  let eng = Engine.create Engine.default_config in
+  let first =
+    match Engine.submit eng (cost_inline sor_inline) with
+    | Ok r -> r.Engine.rs_text
+    | Error e -> Alcotest.failf "first submit: %s" (Engine.error_message e)
+  in
+  let s0 = Engine.parse_cache_stats eng in
+  let second =
+    match Engine.submit eng (cost_inline sor_inline) with
+    | Ok r -> r.Engine.rs_text
+    | Error e -> Alcotest.failf "second submit: %s" (Engine.error_message e)
+  in
+  let s1 = Engine.parse_cache_stats eng in
+  Alcotest.(check string) "warm response identical" first second;
+  Alcotest.(check int) "second request hits the parse cache"
+    (s0.Tytra_exec.Cache.st_hits + 1)
+    s1.Tytra_exec.Cache.st_hits;
+  Alcotest.(check int) "no extra miss" s0.Tytra_exec.Cache.st_misses
+    s1.Tytra_exec.Cache.st_misses
+
+let test_typed_errors () =
+  let eng = Engine.create Engine.default_config in
+  (match Engine.submit eng (cost_inline "define void @f () wat { }") with
+  | Error (Engine.Parse_error _ as e) ->
+      Alcotest.(check int) "parse exit code" 2 (Engine.exit_code e)
+  | Error e -> Alcotest.failf "expected parse error, got %s" (Engine.error_kind e)
+  | Ok _ -> Alcotest.fail "garbage design was accepted");
+  (let invalid =
+     "%m = memobj global ui18 size 8\n\
+      define void @main (ui18 %p) seq { }\n\
+      @main.p = addrspace(1) ui18 !istream !cont !0 !nosuch\n"
+   in
+   match Engine.submit eng (cost_inline invalid) with
+   | Error (Engine.Validation_error _ as e) ->
+       Alcotest.(check int) "validation exit code" 3 (Engine.exit_code e)
+   | Error e ->
+       Alcotest.failf "expected validation error, got %s" (Engine.error_kind e)
+   | Ok _ -> Alcotest.fail "invalid design was accepted");
+  match
+    Engine.submit eng
+      (Engine.Check { source = Engine.File "/nonexistent/x.tirl" })
+  with
+  | Error (Engine.Parse_error _) -> ()
+  | Error e -> Alcotest.failf "expected io error, got %s" (Engine.error_kind e)
+  | Ok _ -> Alcotest.fail "nonexistent file was accepted"
+
+let test_request_deadline () =
+  let eng = Engine.create Engine.default_config in
+  match Engine.submit ~deadline_s:0.0 eng (cost_inline sor_inline) with
+  | Error (Engine.Timeout_error _ as e) ->
+      Alcotest.(check string) "kind" "timeout" (Engine.error_kind e);
+      Alcotest.(check int) "exit code" 1 (Engine.exit_code e)
+  | Error e ->
+      Alcotest.failf "expected timeout, got %s" (Engine.error_kind e)
+  | Ok _ -> Alcotest.fail "expired deadline still succeeded"
+
+(* The corpus as inline design sources through the full engine: typed
+   errors or success, never an exception. *)
+let test_engine_fuzz_inline () =
+  let eng = Engine.create Engine.default_config in
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".tirl")
+  |> List.iter (fun f ->
+         let src = read_file (Filename.concat corpus_dir f) in
+         match Engine.submit eng (cost_inline src) with
+         | Ok _ | Error _ -> ()
+         | exception e ->
+             Alcotest.failf "submit raised %s on corpus %s"
+               (Printexc.to_string e) f)
+
+(* N client domains fire a mixed check/cost/explore workload at one
+   warm engine; every response must be byte-identical to the
+   single-threaded answer for the same request. *)
+let test_concurrent_mixed_clients () =
+  let eng = Engine.create Engine.default_config in
+  let explore_req =
+    Engine.Explore
+      {
+        Engine.x_kernel = Engine.Sor;
+        x_size = 8;
+        x_max_lanes = 4;
+        x_device = dev;
+        x_form = Tytra_cost.Throughput.FormB;
+        x_nki = 1;
+        x_jobs = 1;
+        x_prune = false;
+        x_retries = 0;
+        x_deadline_s = None;
+        x_best_effort = false;
+        x_checkpoint = None;
+        x_checkpoint_every = 32;
+        x_resume = None;
+      }
+  in
+  let workload =
+    [
+      Engine.Check { source = Engine.Inline sor_inline };
+      cost_inline sor_inline;
+      cost_inline hotspot_inline;
+      explore_req;
+    ]
+  in
+  let expected =
+    List.map
+      (fun req ->
+        match Engine.submit eng req with
+        | Ok r -> r.Engine.rs_text
+        | Error e -> Alcotest.failf "reference: %s" (Engine.error_message e))
+      workload
+  in
+  let client () =
+    List.map
+      (fun req ->
+        match Engine.submit eng req with
+        | Ok r -> Ok r.Engine.rs_text
+        | Error e -> Error (Engine.error_message e))
+      workload
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn client) in
+  List.iteri
+    (fun ci d ->
+      let got = Domain.join d in
+      List.iteri
+        (fun ri r ->
+          match r with
+          | Ok text ->
+              Alcotest.(check string)
+                (Printf.sprintf "client %d request %d deterministic" ci ri)
+                (List.nth expected ri) text
+          | Error m ->
+              Alcotest.failf "client %d request %d failed: %s" ci ri m)
+        got)
+    domains
+
+(* ------------------------------------------------------------------ *)
+(* Serve loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let read_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let sockaddr_of sv =
+  let addr = Serve.bound_addr sv in
+  match String.rindex_opt addr ':' with
+  | Some i ->
+      let host = String.sub addr 0 i in
+      let port = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  | None -> Alcotest.failf "unparseable bound addr %s" addr
+
+let http_request sockaddr meth path body =
+  let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd sockaddr;
+      let req =
+        Printf.sprintf "%s %s HTTP/1.0\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      read_all fd)
+
+let body_of raw =
+  let rec find i =
+    if i + 3 >= String.length raw then String.length raw
+    else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+            && raw.[i + 3] = '\n'
+    then i + 4
+    else find (i + 1)
+  in
+  let s = find 0 in
+  String.sub raw s (String.length raw - s)
+
+let status_of raw =
+  match String.split_on_char ' ' raw with
+  | _ :: code :: _ -> int_of_string code
+  | _ -> Alcotest.failf "unparseable status line in %S" raw
+
+let with_server ?(workers = 2) ?(queue_cap = 64) ?handler f =
+  let was = Tytra_telemetry.Metrics.snapshot in
+  ignore was;
+  Tytra_telemetry.Control.set_enabled true;
+  let handler =
+    match handler with
+    | Some h -> h
+    | None ->
+        let eng = Engine.create Engine.default_config in
+        Daemon.handler eng
+  in
+  let sv = Serve.start ~handler ~workers ~queue_cap ~addr:"127.0.0.1:0" () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop sv;
+      Tytra_telemetry.Control.set_enabled false)
+    (fun () -> f sv)
+
+let test_serve_submit_roundtrip () =
+  with_server @@ fun sv ->
+  let sa = sockaddr_of sv in
+  let eng = Engine.create Engine.default_config in
+  let req = Engine.Check { source = Engine.Inline sor_inline } in
+  let direct =
+    match Engine.submit eng req with
+    | Ok r -> r.Engine.rs_text
+    | Error e -> Alcotest.failf "direct submit: %s" (Engine.error_message e)
+  in
+  let raw =
+    http_request sa "POST" "/v1/submit" (Protocol.encode_request req)
+  in
+  Alcotest.(check int) "200" 200 (status_of raw);
+  (match Protocol.decode_reply (body_of raw) with
+  | Ok (Protocol.Reply_ok { rp_op; rp_text; _ }) ->
+      Alcotest.(check string) "op" "check" rp_op;
+      Alcotest.(check string) "served text = direct text" direct rp_text
+  | Ok _ -> Alcotest.fail "expected ok reply"
+  | Error m -> Alcotest.failf "reply decode: %s" m);
+  (* observability rides the same port *)
+  let health = http_request sa "GET" "/healthz" "" in
+  Alcotest.(check int) "healthz" 200 (status_of health);
+  let metrics = http_request sa "GET" "/metrics" "" in
+  Alcotest.(check int) "metrics" 200 (status_of metrics)
+
+let test_serve_malformed_is_typed () =
+  with_server @@ fun sv ->
+  let sa = sockaddr_of sv in
+  List.iter
+    (fun body ->
+      let raw = http_request sa "POST" "/v1/submit" body in
+      Alcotest.(check int) ("400 for " ^ String.escaped body) 400
+        (status_of raw);
+      match Protocol.decode_reply (body_of raw) with
+      | Ok (Protocol.Reply_error { re_kind; _ }) ->
+          Alcotest.(check string) "typed kind" "bad_request" re_kind
+      | Ok _ -> Alcotest.fail "expected error reply"
+      | Error m -> Alcotest.failf "reply decode: %s" m)
+    [ ""; "not json"; "{\"v\":9,\"op\":\"check\"}"; "{\"v\":1}" ];
+  (* a design that fails validation is a 422 with the library message *)
+  let invalid =
+    "%m = memobj global ui18 size 8\n\
+     define void @main (ui18 %p) seq { }\n\
+     @main.p = addrspace(1) ui18 !istream !cont !0 !nosuch\n"
+  in
+  let raw =
+    http_request sa "POST" "/v1/submit"
+      (Protocol.encode_request (cost_inline invalid))
+  in
+  Alcotest.(check int) "422" 422 (status_of raw);
+  match Protocol.decode_reply (body_of raw) with
+  | Ok (Protocol.Reply_error { re_kind; re_exit_code; _ }) ->
+      Alcotest.(check string) "kind" "validation" re_kind;
+      Alcotest.(check int) "exit code" 3 re_exit_code
+  | Ok _ -> Alcotest.fail "expected error reply"
+  | Error m -> Alcotest.failf "reply decode: %s" m
+
+(* Admission control: with one worker parked in a handler and a
+   one-slot queue, a burst must shed deterministic 429s. *)
+let test_serve_backpressure () =
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let open_ = ref false in
+  let arrived = ref 0 in
+  let gate_handler (_ : Serve.request) =
+    Mutex.lock gate_m;
+    incr arrived;
+    Condition.broadcast gate_c;
+    while not !open_ do
+      Condition.wait gate_c gate_m
+    done;
+    Mutex.unlock gate_m;
+    Some { Serve.rs_status = 200; rs_content_type = "text/plain"; rs_body = "done\n" }
+  in
+  with_server ~workers:1 ~queue_cap:1 ~handler:gate_handler @@ fun sv ->
+  let sa = sockaddr_of sv in
+  let client () = http_request sa "GET" "/x" "" in
+  (* first request occupies the worker *)
+  let c1 = Domain.spawn client in
+  Mutex.lock gate_m;
+  while !arrived < 1 do
+    Condition.wait gate_c gate_m
+  done;
+  Mutex.unlock gate_m;
+  (* burst: with the worker busy and queue_cap 1, at least one of these
+     must be answered 429 without ever reaching the handler *)
+  let burst = List.init 4 (fun _ -> Domain.spawn client) in
+  let rec wait_rejected tries =
+    if Serve.requests_rejected sv >= 1 then ()
+    else if tries = 0 then Alcotest.fail "no request was shed"
+    else begin
+      Unix.sleepf 0.02;
+      wait_rejected (tries - 1)
+    end
+  in
+  wait_rejected 250;
+  Mutex.lock gate_m;
+  open_ := true;
+  Condition.broadcast gate_c;
+  Mutex.unlock gate_m;
+  let replies = List.map Domain.join (c1 :: burst) in
+  let ok = List.length (List.filter (fun r -> status_of r = 200) replies) in
+  let shed = List.length (List.filter (fun r -> status_of r = 429) replies) in
+  Alcotest.(check int) "every client got an answer" 5 (ok + shed);
+  Alcotest.(check bool) "some requests served" true (ok >= 2);
+  Alcotest.(check bool) "some requests shed" true (shed >= 1)
+
+(* Graceful drain: stop() while requests are parked inside handlers
+   must answer all of them before returning. *)
+let test_serve_drain_answers_inflight () =
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let open_ = ref false in
+  let arrived = ref 0 in
+  let gate_handler (_ : Serve.request) =
+    Mutex.lock gate_m;
+    incr arrived;
+    Condition.broadcast gate_c;
+    while not !open_ do
+      Condition.wait gate_c gate_m
+    done;
+    Mutex.unlock gate_m;
+    Some { Serve.rs_status = 200; rs_content_type = "text/plain"; rs_body = "drained\n" }
+  in
+  Tytra_telemetry.Control.set_enabled true;
+  let sv =
+    Serve.start ~handler:gate_handler ~workers:3 ~queue_cap:8
+      ~addr:"127.0.0.1:0" ()
+  in
+  let sa = sockaddr_of sv in
+  let clients =
+    List.init 3 (fun _ -> Domain.spawn (fun () -> http_request sa "GET" "/x" ""))
+  in
+  (* all three requests are inside handlers now *)
+  Mutex.lock gate_m;
+  while !arrived < 3 do
+    Condition.wait gate_c gate_m
+  done;
+  Mutex.unlock gate_m;
+  let stopper = Domain.spawn (fun () -> Serve.stop sv) in
+  (* the drain must be blocked on the in-flight requests; release them *)
+  Unix.sleepf 0.05;
+  Mutex.lock gate_m;
+  open_ := true;
+  Condition.broadcast gate_c;
+  Mutex.unlock gate_m;
+  Domain.join stopper;
+  List.iter
+    (fun c ->
+      let raw = Domain.join c in
+      Alcotest.(check int) "drained request answered 200" 200 (status_of raw);
+      Alcotest.(check bool) "body delivered" true
+        (body_of raw = "drained\n"))
+    clients;
+  Alcotest.(check int) "all three served" 3 (Serve.requests_served sv);
+  Tytra_telemetry.Control.set_enabled false
+
+let suite =
+  [
+    Alcotest.test_case "request codec round-trips" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "decode fills CLI defaults" `Quick
+      test_defaults_fill_in;
+    Alcotest.test_case "malformed requests are typed errors" `Quick
+      test_malformed_requests;
+    Alcotest.test_case "request codec total on fuzz corpus" `Quick
+      test_codec_fuzz_corpus;
+    QCheck_alcotest.to_alcotest codec_total_qcheck;
+    Alcotest.test_case "reply codec round-trips" `Quick test_reply_roundtrip;
+    Alcotest.test_case "engine text = CLI stdout" `Slow test_text_matches_cli;
+    Alcotest.test_case "parse cache warms repeat requests" `Quick
+      test_parse_cache_warms;
+    Alcotest.test_case "typed errors carry CLI exit codes" `Quick
+      test_typed_errors;
+    Alcotest.test_case "request deadline is enforced" `Quick
+      test_request_deadline;
+    Alcotest.test_case "engine total on corpus as inline sources" `Quick
+      test_engine_fuzz_inline;
+    Alcotest.test_case "concurrent mixed clients are deterministic" `Slow
+      test_concurrent_mixed_clients;
+    Alcotest.test_case "serve: submit round-trip + observability" `Quick
+      test_serve_submit_roundtrip;
+    Alcotest.test_case "serve: malformed bodies are typed 400s" `Quick
+      test_serve_malformed_is_typed;
+    Alcotest.test_case "serve: full queue sheds 429" `Quick
+      test_serve_backpressure;
+    Alcotest.test_case "serve: drain answers in-flight requests" `Quick
+      test_serve_drain_answers_inflight;
+  ]

@@ -29,4 +29,5 @@ let () =
       ("streambench", Test_streambench.suite);
       ("robustness", Test_robustness.suite);
       ("integration", Test_integration.suite);
+      ("engine", Test_engine.suite);
     ]

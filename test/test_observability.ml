@@ -270,7 +270,7 @@ let http_get sockaddr path =
 let test_serve_tcp () =
   with_obs @@ fun () ->
   Tel.Metrics.incr ~by:5 "t.served";
-  let sv = Tel.Serve.start ~addr:"127.0.0.1:0" in
+  let sv = Tel.Serve.start ~addr:"127.0.0.1:0" () in
   Fun.protect
     ~finally:(fun () -> Tel.Serve.stop sv)
     (fun () ->
@@ -316,7 +316,7 @@ let test_serve_unix_socket () =
       (Printf.sprintf "tytra_test_%d.sock" (Unix.getpid ()))
   in
   (try Sys.remove path with Sys_error _ -> ());
-  let sv = Tel.Serve.start ~addr:("unix:" ^ path) in
+  let sv = Tel.Serve.start ~addr:("unix:" ^ path) () in
   let health = http_get (Unix.ADDR_UNIX path) "/healthz" in
   Alcotest.(check bool) "unix socket /healthz ok" true
     (contains ~needle:"200 OK" health);
@@ -325,7 +325,7 @@ let test_serve_unix_socket () =
     (Sys.file_exists path)
 
 let test_serve_bad_addr () =
-  match Tel.Serve.start ~addr:"not an address" with
+  match Tel.Serve.start ~addr:"not an address" () with
   | exception Failure _ -> ()
   | sv ->
       Tel.Serve.stop sv;
