@@ -69,6 +69,10 @@ type config = {
       (** called on the sweep's driving domain after every evaluation
           wave (and every checkpoint chunk) with cumulative coverage;
           the [--progress] live line renders from this *)
+  place_mode : Tytra_sim.Techmap.place_mode option;
+      (** placement engine for any technology mapping performed under
+          this sweep; [None] = the ambient process-wide mode
+          ({!Tytra_sim.Techmap.place_mode}) *)
 }
 
 (** Cumulative sweep coverage, as passed to [config.on_progress].
@@ -100,6 +104,7 @@ let default_config : config =
     checkpoint = None;
     checkpoint_every = 32;
     on_progress = None;
+    place_mode = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -763,6 +768,18 @@ let sweep_many ~pool ?(restore = []) (configs : config list)
              }))
       sweeps;
   sweeps
+
+(* A config-requested placement mode applies to the whole batch (the
+   override is process-global, and batch configs evaluate concurrently
+   on shared workers, so per-config switching would race): the head
+   config's choice wins. [explore_devices] derives its batch from one
+   base config, so in practice every config agrees. *)
+let sweep_many ~pool ?restore configs prog =
+  match configs with
+  | { place_mode = Some m; _ } :: _ ->
+      Tytra_sim.Techmap.with_place_mode (Some m) (fun () ->
+          sweep_many ~pool ?restore configs prog)
+  | _ -> sweep_many ~pool ?restore configs prog
 
 (* ------------------------------------------------------------------ *)
 (* Exploration                                                         *)

@@ -65,6 +65,12 @@ type config = {
       (** called on the sweep's driving domain after every evaluation
           wave (and every checkpoint chunk) with cumulative coverage;
           [tybec explore --progress] renders its live line from this *)
+  place_mode : Tytra_sim.Techmap.place_mode option;
+      (** placement engine for any technology mapping performed under
+          this sweep ([--place-mode]); [None] = the ambient
+          process-wide mode ({!Tytra_sim.Techmap.place_mode}). In a
+          multi-config batch the head config's choice applies to the
+          whole batch. *)
 }
 
 (** Cumulative sweep coverage, as passed to [config.on_progress]. In a
@@ -82,7 +88,7 @@ val default_config : config
 (** Stratix-V GSD8, device calibration, form B, [nki = 1],
     [max_lanes = 16], [max_vec = 1], [jobs = 1], caching, pruning and
     the IR fast path on; resilience off ([max_attempts = 1], no
-    deadline, fail-fast, no checkpoint). *)
+    deadline, fail-fast, no checkpoint); ambient placement mode. *)
 
 (** {2 Sweeps} *)
 

@@ -71,6 +71,8 @@ type explore_params = {
   x_checkpoint : string option;
   x_checkpoint_every : int;
   x_resume : string option;
+  x_place_mode : Tytra_sim.Techmap.place_mode option;
+      (** placement engine for the sweep; [None] = ambient mode *)
 }
 
 type request =
@@ -171,14 +173,18 @@ type config = {
   jobs : int;  (** persistent evaluation-pool width for exploration *)
   parse_cache_capacity : int;
       (** entries in the content-addressed parse+validate cache *)
+  response_cache_capacity : int;
+      (** entries in the full-request response cache *)
 }
 
-let default_config = { jobs = 1; parse_cache_capacity = 64 }
+let default_config =
+  { jobs = 1; parse_cache_capacity = 64; response_cache_capacity = 128 }
 
 type t = {
   cfg : config;
   pool : Pool.t;
   parse_cache : (Ast.design, Tytra_ir.Error.t) result Cache.t;
+  response_cache : response Cache.t;
 }
 
 let create cfg =
@@ -188,10 +194,14 @@ let create cfg =
     parse_cache =
       Cache.create ~metrics_prefix:"engine.parse_cache"
         ~capacity:(max 1 cfg.parse_cache_capacity) ();
+    response_cache =
+      Cache.create ~metrics_prefix:"engine.response_cache"
+        ~capacity:(max 1 cfg.response_cache_capacity) ();
   }
 
 let config t = t.cfg
 let parse_cache_stats t = Cache.stats t.parse_cache
+let response_cache_stats t = Cache.stats t.response_cache
 
 (* ------------------------------------------------------------------ *)
 (* Loading: content-addressed parse + validate                         *)
@@ -388,7 +398,8 @@ let do_explore t ?on_progress (x : explore_params) =
       max_lanes = x.x_max_lanes; jobs; prune = x.x_prune;
       max_attempts = 1 + max 0 x.x_retries; deadline_s = x.x_deadline_s;
       fail_fast = not x.x_best_effort; checkpoint = x.x_checkpoint;
-      checkpoint_every = x.x_checkpoint_every; on_progress }
+      checkpoint_every = x.x_checkpoint_every; on_progress;
+      place_mode = x.x_place_mode }
   in
   let* restore, resumed =
     match x.x_resume with
@@ -466,6 +477,90 @@ let dispatch t ?on_progress = function
       do_sim t ~source ~device ~form ~nki ~optimize
   | Explore x -> do_explore t ?on_progress x
 
+(* ------------------------------------------------------------------ *)
+(* Response cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The key digests the *full* request: op, every parameter that can
+   influence the response, the content behind every path parameter
+   (source bytes, calibration bytes — a path alone is not a key; the
+   path itself still participates because diagnostic names and design
+   names embed it), and ambient state the evaluation reads (the resolved
+   placement mode, for synthesis). [None] means uncacheable: Explore
+   carries side effects (checkpoint files, progress callbacks) and its
+   point-level caches already absorb repeat cost; a source or calib file
+   that cannot be read is keyless and falls through to the normal error
+   path. Only [Ok] responses are inserted, so errors are re-derived (and
+   re-rendered with current file state) every time. *)
+
+let read_file_opt path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> Some text
+  | exception Sys_error _ -> None
+
+let source_key = function
+  | Inline text -> Some [ "inline"; text ]
+  | File path ->
+      Option.map (fun text -> [ "file"; path; text ]) (read_file_opt path)
+
+let request_key (req : request) : string option =
+  let ( let* ) = Option.bind in
+  match req with
+  | Explore _ -> None
+  | Check { source } ->
+      let* src = source_key source in
+      Some (Cache.digest_key ("check" :: src))
+  | Cost { source; device; form; nki; optimize; calib } ->
+      let* src = source_key source in
+      let* calib_part =
+        match calib with
+        | None -> Some [ "nocalib" ]
+        | Some path ->
+            Option.map
+              (fun text -> [ "calib"; path; text ])
+              (read_file_opt path)
+      in
+      Some
+        (Cache.digest_key
+           (("cost" :: src)
+           @ calib_part
+           @ [ Cache.digest_marshal (device, form, nki, optimize) ]))
+  | Synth { source; device; effort; optimize } ->
+      let* src = source_key source in
+      (* synthesis output depends on the active placement engine *)
+      Some
+        (Cache.digest_key
+           (("synth" :: src)
+           @ [
+               Cache.digest_marshal (device, effort, optimize);
+               Tytra_sim.Techmap.place_mode_to_string
+                 (Tytra_sim.Techmap.place_mode ());
+             ]))
+  | Sim { source; device; form; nki; optimize } ->
+      let* src = source_key source in
+      Some
+        (Cache.digest_key
+           (("sim" :: src)
+           @ [ Cache.digest_marshal (device, form, nki, optimize) ]))
+
+let dispatch_cached t ?on_progress req =
+  match request_key req with
+  | None -> dispatch t ?on_progress req
+  | Some key -> (
+      match Cache.find t.response_cache ~key with
+      | Some rs -> Ok rs
+      | None ->
+          let r = dispatch t ?on_progress req in
+          (match r with
+          | Ok rs -> Cache.add t.response_cache ~key rs
+          | Error _ -> ());
+          r)
+
 let submit ?deadline_s ?(retries = 0) ?on_progress t req =
   Metrics.incr "engine.requests";
   Span.with_ ~name:"engine.submit"
@@ -473,7 +568,8 @@ let submit ?deadline_s ?(retries = 0) ?on_progress t req =
   @@ fun () ->
   let attempt () =
     match
-      Task.with_context ?deadline_s (fun () -> dispatch t ?on_progress req)
+      Task.with_context ?deadline_s (fun () ->
+          dispatch_cached t ?on_progress req)
     with
     | r -> r
     | exception Task.Timeout allotted when deadline_s <> None ->

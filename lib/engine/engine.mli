@@ -40,6 +40,8 @@ type explore_params = {
   x_checkpoint : string option;
   x_checkpoint_every : int;
   x_resume : string option;
+  x_place_mode : Tytra_sim.Techmap.place_mode option;
+      (** placement engine for the sweep; [None] = ambient mode *)
 }
 
 type request =
@@ -117,10 +119,16 @@ val error_kind : error -> string
 type config = {
   jobs : int;  (** persistent evaluation-pool width for exploration *)
   parse_cache_capacity : int;
+  response_cache_capacity : int;
+      (** entries in the full-request response cache: completed [Ok]
+          responses keyed on a digest of the op, every parameter, the
+          content behind every path parameter and the resolved placement
+          mode (for synth). Explore requests and error responses are
+          never cached. *)
 }
 
 val default_config : config
-(** [jobs = 1], 64 parse-cache entries. *)
+(** [jobs = 1], 64 parse-cache entries, 128 response-cache entries. *)
 
 type t
 (** A running engine: configuration, persistent pool and caches. *)
@@ -133,6 +141,13 @@ val parse_cache_stats : t -> Tytra_exec.Cache.stats
 (** Hit/miss/eviction statistics of the content-addressed
     parse+validate cache (also published as [engine.parse_cache.*]
     telemetry counters). *)
+
+val response_cache_stats : t -> Tytra_exec.Cache.stats
+(** Hit/miss/eviction statistics of the full-request response cache
+    (also published as [engine.response_cache.*] telemetry counters).
+    A hit replays the stored response verbatim — including the
+    originally rendered [rs_text] (wall-clock figures such as the synth
+    time line reflect the first, uncached run). *)
 
 val submit :
   ?deadline_s:float ->

@@ -42,6 +42,25 @@ let create ?jobs () =
 let jobs t = t.pool_jobs
 
 (* ------------------------------------------------------------------ *)
+(* Nested-dispatch guard                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Set while a domain is executing pool work. A [map] issued from inside
+   a worker (e.g. a parallel placement running within a pooled point
+   evaluation) must not fan out again: the nested spawn would
+   oversubscribe the machine jobs-fold and, once pools hold queues or
+   other shared resources, deadlock against the dispatch that is waiting
+   on this very item. Nested maps therefore degrade to the sequential
+   short-circuit on the worker's own domain. *)
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let inside_worker () = Domain.DLS.get in_worker_key
+
+let as_worker f =
+  Domain.DLS.set in_worker_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker_key false) f
+
+(* ------------------------------------------------------------------ *)
 (* Errors and retry policy                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -168,7 +187,13 @@ type 'b slot = Pending | Done of 'b
     Order-preserving; re-raises the first worker exception. *)
 let map (t : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
   let n = List.length xs in
-  if t.pool_jobs <= 1 || n <= 1 then List.map f xs
+  (* Dispatch accounting is per call, published on the sequential
+     short-circuit too: exec.pool.* must be a pure function of the
+     workload, not of how many cores the machine happens to have
+     (perf_guard gates these counters on exact equality). *)
+  Tytra_telemetry.Metrics.incr "exec.pool.maps";
+  Tytra_telemetry.Metrics.add "exec.pool.items" (float_of_int n);
+  if t.pool_jobs <= 1 || n <= 1 || inside_worker () then List.map f xs
   else begin
     let workers = min t.pool_jobs n in
     let input = Array.of_list xs in
@@ -209,12 +234,10 @@ let map (t : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
               | e -> record_failure e (Printexc.get_raw_backtrace ()));
               drain ()
       in
-      drain ()
+      as_worker drain
     in
     let domains = spawn_all ~abort:failed workers worker in
     join_all domains;
-    Tytra_telemetry.Metrics.incr "exec.pool.maps";
-    Tytra_telemetry.Metrics.add "exec.pool.items" (float_of_int n);
     match !failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
@@ -297,7 +320,7 @@ let map_result (t : t) ?(retry = no_retry) ?deadline_s (f : 'a -> 'b)
   done;
   let run i x = run_item ~retry ~deadline_s ~index:i ~id:ids.(i) f x in
   let out =
-    if t.pool_jobs <= 1 || n <= 1 then List.mapi run xs
+    if t.pool_jobs <= 1 || n <= 1 || inside_worker () then List.mapi run xs
     else begin
       let workers = min t.pool_jobs n in
       let input = Array.of_list xs in
@@ -313,7 +336,7 @@ let map_result (t : t) ?(retry = no_retry) ?deadline_s (f : 'a -> 'b)
               done;
               drain ()
         in
-        drain ()
+        as_worker drain
       in
       let domains = spawn_all workers worker in
       join_all domains;

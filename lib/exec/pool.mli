@@ -22,6 +22,14 @@ val default_jobs : unit -> int
 val jobs : t -> int
 (** Worker count this pool was created with. *)
 
+val inside_worker : unit -> bool
+(** [true] while the calling domain is executing pool work. A {!map} or
+    {!map_result} issued from inside a worker does not fan out again —
+    it degrades to the sequential short-circuit on the worker's own
+    domain, so nested dispatch (a parallel sub-computation running
+    within a pooled item) can never oversubscribe the machine or
+    deadlock against the dispatch waiting on that item. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] — [List.map f xs] evaluated on [jobs t] domains.
 

@@ -22,6 +22,12 @@ Two modes, selected by what the baseline records:
   span whose total grew past the gate over a baseline total worth
   measuring).
 
+Whenever ratio gating is active (legacy mode, or --ratio in EXACT
+mode), placement spans (sim.techmap.place*) are held to a tighter <=2x
+gate: placement is the dominant E8 cost and its work counters are
+exact, so its wall time tracks the machine far more reproducibly than
+the sweep-shaped spans around it.
+
 Usage: perf_guard.py BASELINE.json CURRENT.json [--ratio R] [--waive PAT]
 Exit code 0 when clean, 1 with a report on stderr otherwise.
 """
@@ -53,9 +59,15 @@ WAIVERS = {
         "only incremented on transient-class failures, which depend on "
         "wall-clock deadlines, not on the workload"
     ),
+    "engine.response_cache.*": (
+        "hit/miss split races under E10's concurrent clients: two "
+        "simultaneous misses on one request key both compute and both "
+        "count a miss"
+    ),
 }
 
-# Counters that must match the baseline exactly in LEGACY mode.
+# Counters that must match the baseline exactly in LEGACY mode. (In
+# EXACT mode the whole registry is gated, these included.)
 EXACT_COUNTERS = [
     "dse.points_evaluated",
     "dse.points_pruned",
@@ -63,6 +75,9 @@ EXACT_COUNTERS = [
     "cost.evaluations",
     "sim.techmap.runs",
     "sim.cyclesim.runs",
+    "sim.techmap.anneal.moves",
+    "sim.techmap.anneal.delta_evals",
+    "sim.techmap.anneal.early_exit",
 ]
 
 # Integer-valued E8 gauges recording the pruning outcome per kernel.
@@ -71,11 +86,27 @@ EXACT_GAUGE_RE = re.compile(
     r"|pruned_resource|pruned_incumbent)$"
 )
 
-# Fast-path equivalence flags: 1.0 means fast and --no-fast-ir agreed.
-IDENTITY_GAUGES = [
-    "bench.e8.fastpath.selections_identical",
-    "bench.e8.fastpath.placements_identical",
-]
+# Equivalence flags that must read 1.0 in the current run.
+IDENTITY_GAUGES = {
+    "bench.e8.fastpath.selections_identical": (
+        "fast path and --no-fast-ir must select identically"
+    ),
+    "bench.e8.fastpath.placements_identical": (
+        "incremental and reference placement must be bit-identical"
+    ),
+    "bench.e8.placemode.quality_ok": (
+        "parallel placement must stay within +2% wirelength of reference"
+    ),
+    "bench.e8.placemode.selections_identical": (
+        "best/pareto selections must agree across all three place modes"
+    ),
+}
+
+# Placement spans are gated at <=2x even when the general gate is
+# looser: their work counters are exact, so wall time per unit of work
+# is stable.
+PLACEMENT_SPAN_PAT = "sim.techmap.place*"
+PLACEMENT_RATIO = 2.0
 
 # Ignore spans whose baseline total is below this when ratio-gating:
 # sub-50ms totals are dominated by scheduler noise.
@@ -106,12 +137,15 @@ def check_spans(base, cur, ratio, failures):
             cs = cur_spans.get(name)
             if cs is None or bs["total_ns"] < MIN_GATED_NS:
                 continue
+            gate = ratio
+            if fnmatch.fnmatchcase(name, PLACEMENT_SPAN_PAT):
+                gate = min(ratio, PLACEMENT_RATIO)
             r = cs["total_ns"] / bs["total_ns"]
-            if r > ratio:
+            if r > gate:
                 failures.append(
                     f"span {name}: total {cs['total_ns']/1e9:.3f}s is "
                     f"{r:.2f}x the baseline {bs['total_ns']/1e9:.3f}s "
-                    f"(gate {ratio:.1f}x)"
+                    f"(gate {gate:.1f}x)"
                 )
     return len(base_spans)
 
@@ -127,11 +161,11 @@ def check_gauges(base, cur, failures):
         b, c = base_gauges.get(key), cur_gauges.get(key)
         if b != c:
             failures.append(f"gauge {key}: baseline {b}, current {c}")
-    for key in IDENTITY_GAUGES:
+    for key, why in IDENTITY_GAUGES.items():
         if cur_gauges.get(key) != 1.0:
             failures.append(
-                f"gauge {key}: expected 1.0 (fast path and --no-fast-ir "
-                f"must agree), got {cur_gauges.get(key)}"
+                f"gauge {key}: expected 1.0 ({why}), "
+                f"got {cur_gauges.get(key)}"
             )
     return n
 
@@ -225,13 +259,13 @@ def main():
             f"perf guard OK (exact mode): {n_checked} counters exact "
             f"({n_waived} waived), {n_gauges} E8 gauges exact, "
             f"{n_spans} span names pinned, ratio gating {gating}, "
-            f"fast path equivalent"
+            f"equivalence flags green"
         )
     else:
         print(
-            f"perf guard OK (legacy mode): {n_spans} spans ratio-gated, "
-            f"{n_checked} work counters exact, {n_gauges} E8 gauges "
-            f"exact, fast path equivalent"
+            f"perf guard OK (legacy mode): {n_spans} spans ratio-gated "
+            f"(placement at <=2x), {n_checked} work counters exact, "
+            f"{n_gauges} E8 gauges exact, equivalence flags green"
         )
 
 

@@ -67,6 +67,7 @@ let requests_under_test : (string * Engine.request) list =
           x_checkpoint = Some "/tmp/ck";
           x_checkpoint_every = 8;
           x_resume = None;
+          x_place_mode = Some Tytra_sim.Techmap.Parallel;
         } );
   ]
 
@@ -301,11 +302,70 @@ let test_parse_cache_warms () =
   in
   let s1 = Engine.parse_cache_stats eng in
   Alcotest.(check string) "warm response identical" first second;
-  Alcotest.(check int) "second request hits the parse cache"
-    (s0.Tytra_exec.Cache.st_hits + 1)
-    s1.Tytra_exec.Cache.st_hits;
+  (* an identical repeat is absorbed by the response cache one layer up:
+     the parse cache must not even be consulted *)
+  Alcotest.(check int) "repeat request bypasses the parse cache"
+    s0.Tytra_exec.Cache.st_hits s1.Tytra_exec.Cache.st_hits;
   Alcotest.(check int) "no extra miss" s0.Tytra_exec.Cache.st_misses
-    s1.Tytra_exec.Cache.st_misses
+    s1.Tytra_exec.Cache.st_misses;
+  (* a *different* request over the same source reuses the parsed design *)
+  (match
+     Engine.submit eng
+       (Engine.Sim
+          {
+            source = Engine.Inline sor_inline;
+            device = dev;
+            form = Tytra_cost.Throughput.FormB;
+            nki = 1;
+            optimize = false;
+          })
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "sim submit: %s" (Engine.error_message e));
+  let s2 = Engine.parse_cache_stats eng in
+  Alcotest.(check int) "new request over the same source hits"
+    (s1.Tytra_exec.Cache.st_hits + 1)
+    s2.Tytra_exec.Cache.st_hits
+
+let test_response_cache () =
+  let eng = Engine.create Engine.default_config in
+  let submit req =
+    match Engine.submit eng req with
+    | Ok r -> r.Engine.rs_text
+    | Error e -> Alcotest.failf "submit: %s" (Engine.error_message e)
+  in
+  let first = submit (cost_inline sor_inline) in
+  let s0 = Engine.response_cache_stats eng in
+  Alcotest.(check int) "first request misses" 1 s0.Tytra_exec.Cache.st_misses;
+  Alcotest.(check int) "nothing hit yet" 0 s0.Tytra_exec.Cache.st_hits;
+  let second = submit (cost_inline sor_inline) in
+  let s1 = Engine.response_cache_stats eng in
+  Alcotest.(check string) "replayed response byte-identical" first second;
+  Alcotest.(check int) "repeat request hits" 1 s1.Tytra_exec.Cache.st_hits;
+  Alcotest.(check int) "no extra miss" 1 s1.Tytra_exec.Cache.st_misses;
+  (* a different request (same source, different nki) must not alias *)
+  let other =
+    Engine.Cost
+      {
+        source = Engine.Inline sor_inline;
+        device = dev;
+        form = Tytra_cost.Throughput.FormB;
+        nki = 7;
+        optimize = false;
+        calib = None;
+      }
+  in
+  ignore (submit other);
+  let s2 = Engine.response_cache_stats eng in
+  Alcotest.(check int) "changed parameter misses" 2
+    s2.Tytra_exec.Cache.st_misses;
+  (* errors are never cached: same bad request misses every time *)
+  (match Engine.submit eng (cost_inline "not a design") with
+  | Error (Engine.Parse_error _) -> ()
+  | _ -> Alcotest.fail "expected parse error");
+  let s3 = Engine.response_cache_stats eng in
+  Alcotest.(check int) "error response not inserted"
+    s2.Tytra_exec.Cache.st_size s3.Tytra_exec.Cache.st_size
 
 let test_typed_errors () =
   let eng = Engine.create Engine.default_config in
@@ -379,6 +439,7 @@ let test_concurrent_mixed_clients () =
         x_checkpoint = None;
         x_checkpoint_every = 32;
         x_resume = None;
+        x_place_mode = None;
       }
   in
   let workload =
@@ -668,6 +729,8 @@ let suite =
     Alcotest.test_case "engine text = CLI stdout" `Slow test_text_matches_cli;
     Alcotest.test_case "parse cache warms repeat requests" `Quick
       test_parse_cache_warms;
+    Alcotest.test_case "response cache replays full requests" `Quick
+      test_response_cache;
     Alcotest.test_case "typed errors carry CLI exit codes" `Quick
       test_typed_errors;
     Alcotest.test_case "request deadline is enforced" `Quick

@@ -1,0 +1,217 @@
+(* Placement-engine property tests (DESIGN.md §14).
+
+   The three-stage parallel placer (analytic seed + replica-exchange
+   annealing) cannot be bit-identical to the sequential annealers, so it
+   is held to behavioural contracts instead:
+
+   - deterministic: a fixed seed reproduces the exact placement, and the
+     result is independent of the pool width driving the replicas
+     (jobs-equivalence — the regression the content-digest seeding
+     exists to protect);
+   - bounded quality: final wirelength within +2% of the reference
+     annealer on every kernel x variant;
+   - selection-neutral: DSE best/pareto selections agree across all
+     three placement modes;
+   - convergent: the analytic seed lets small netlists terminate early,
+     visible through the sim.techmap.anneal.early_exit counter. *)
+
+open Tytra_ir
+open Tytra_front
+module Techmap = Tytra_sim.Techmap
+module Prng = Tytra_sim.Prng
+
+let kernels () =
+  [
+    ("sor", Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 ());
+    ("hotspot", Tytra_kernels.Hotspot.program ~rows:16 ~cols:16 ());
+    ("lavamd", Tytra_kernels.Lavamd.program ~boxes:16 ());
+    ("srad", Tytra_kernels.Srad.program ~rows:16 ~cols:16 ());
+  ]
+
+let netlist_of p v =
+  let d = Lower.lower p v in
+  let summary = Config_tree.classify d in
+  let pes = List.filter_map (Ast.find_func d) summary.Config_tree.cs_pes in
+  Techmap.build_netlist d pes
+
+let sig_of (pl : Techmap.placement_result) =
+  (pl.Techmap.pl_avg_wire, pl.Techmap.pl_moves, pl.Techmap.pl_accepted)
+
+(* ---- determinism ---- *)
+
+let test_parallel_deterministic () =
+  List.iter
+    (fun (name, p) ->
+      let nl = netlist_of p (Transform.ParPipe 4) in
+      let seed = Prng.seed_of_string ("place:" ^ name) in
+      let a = Techmap.place_parallel ~seed ~effort:40 nl in
+      let b = Techmap.place_parallel ~seed ~effort:40 nl in
+      Alcotest.(check bool)
+        (name ^ ": same seed reproduces the placement")
+        true
+        (sig_of a = sig_of b);
+      let c =
+        Techmap.place_parallel ~seed:(Int64.add seed 1L) ~effort:40 nl
+      in
+      (* not a hard property of annealing, but on every committed
+         workload distinct seeds explore distinct trajectories *)
+      Alcotest.(check bool)
+        (name ^ ": a different seed does different work")
+        true
+        (sig_of c <> sig_of a || nl.Techmap.n_cells <= 2))
+    (kernels ())
+
+let test_parallel_jobs_equivalent () =
+  (* the replica ensemble must produce the same placement whether its
+     segments run on one domain or several: results may not depend on
+     the width of the machine that computed them *)
+  List.iter
+    (fun (name, p) ->
+      let nl = netlist_of p (Transform.ParPipe 8) in
+      let seed = Prng.seed_of_string ("place.jobs:" ^ name) in
+      let at jobs = sig_of (Techmap.place_parallel ~jobs ~seed ~effort:40 nl) in
+      let j1 = at 1 in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: jobs=%d matches jobs=1" name jobs)
+            true
+            (at jobs = j1))
+        [ 2; 4 ])
+    (kernels ())
+
+let test_run_seeded_from_content () =
+  (* [run] seeds parallel placement from the design digest, so repeat
+     synthesis of the same design is reproducible regardless of what
+     else the process placed before it *)
+  let d =
+    Lower.lower
+      (Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 ())
+      (Transform.ParPipe 4)
+  in
+  let other =
+    Lower.lower
+      (Tytra_kernels.Hotspot.program ~rows:16 ~cols:16 ())
+      Transform.Pipe
+  in
+  let wire () =
+    (Techmap.run ~mode:Techmap.Parallel d).Techmap.tm_avg_wire
+  in
+  let first = wire () in
+  ignore (Techmap.run ~mode:Techmap.Parallel other);
+  Alcotest.(check (float 1e-9))
+    "re-synthesis reproduces the placement after unrelated work" first
+    (wire ())
+
+(* ---- quality bound ---- *)
+
+let test_wirelength_bound () =
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun v ->
+          let nl = netlist_of p v in
+          let rng = Prng.of_string ("place.ref:" ^ name) in
+          let reference =
+            Techmap.place ~mode:Techmap.Reference ~rng ~effort:40 nl
+          in
+          let par =
+            Techmap.place_parallel
+              ~seed:(Prng.seed_of_string ("place.par:" ^ name))
+              ~effort:40 nl
+          in
+          let bound =
+            (reference.Techmap.pl_avg_wire *. 1.02) +. 1e-9
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: parallel wire %.4f <= reference %.4f +2%%"
+               name (Transform.to_string v) par.Techmap.pl_avg_wire
+               reference.Techmap.pl_avg_wire)
+            true
+            (par.Techmap.pl_avg_wire <= bound))
+        [ Transform.Pipe; Transform.ParPipe 2; Transform.ParPipe 4 ])
+    (kernels ())
+
+(* ---- DSE selection neutrality ---- *)
+
+let signature pts =
+  List.map
+    (fun p ->
+      ( Transform.to_string p.Tytra_dse.Dse.dp_variant,
+        Tytra_dse.Dse.ekit p,
+        Tytra_dse.Dse.area p,
+        Pprint.design_to_string p.Tytra_dse.Dse.dp_design ))
+    pts
+
+let test_dse_selections_mode_independent () =
+  let p = Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 () in
+  let run mode =
+    Tytra_dse.Dse.clear_cache ();
+    let config =
+      {
+        Tytra_dse.Dse.default_config with
+        max_lanes = 8;
+        use_cache = false;
+        place_mode = Some mode;
+      }
+    in
+    let pts = Tytra_dse.Dse.explore ~config p in
+    ( Option.map (fun b -> signature [ b ]) (Tytra_dse.Dse.best pts),
+      signature (Tytra_dse.Dse.pareto pts) )
+  in
+  let reference = run Techmap.Reference in
+  List.iter
+    (fun (label, mode) ->
+      Alcotest.(check bool)
+        (label ^ ": best/pareto identical to reference mode")
+        true
+        (run mode = reference))
+    [ ("incremental", Techmap.Incremental); ("parallel", Techmap.Parallel) ]
+
+(* ---- convergence / early exit ---- *)
+
+let counter name =
+  Option.value ~default:0.0 (Tytra_telemetry.Metrics.counter_value name)
+
+let test_analytic_seed_early_exit () =
+  (* starting from the relaxation seed, the E11 workload converges in a
+     few segments: the schedule must terminate early instead of burning
+     the full move budget, and must do strictly less annealing work than
+     a random start (the analytic seed's whole point) *)
+  let nl =
+    netlist_of
+      (Tytra_kernels.Sor.program ~im:64 ~jm:64 ~km:64 ())
+      (Transform.ParPipe 4)
+  in
+  let seed = Prng.seed_of_string "place.early_exit" in
+  Tytra_telemetry.Control.set_enabled true;
+  Fun.protect ~finally:(fun () -> Tytra_telemetry.Control.set_enabled false)
+  @@ fun () ->
+  let before = counter "sim.techmap.anneal.early_exit" in
+  let seeded = Techmap.place_parallel ~seed ~effort:40 nl in
+  let after = counter "sim.techmap.anneal.early_exit" in
+  Alcotest.(check bool) "early-exit counter incremented" true (after > before);
+  let random =
+    Techmap.place_parallel ~seed_init:`Random ~seed ~effort:40 nl
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "seeded moves %d < random-start moves %d"
+       seeded.Techmap.pl_moves random.Techmap.pl_moves)
+    true
+    (seeded.Techmap.pl_moves < random.Techmap.pl_moves)
+
+let suite =
+  [
+    Alcotest.test_case "parallel placement deterministic given seed" `Quick
+      test_parallel_deterministic;
+    Alcotest.test_case "parallel placement independent of jobs" `Quick
+      test_parallel_jobs_equivalent;
+    Alcotest.test_case "run seeds placement from design content" `Quick
+      test_run_seeded_from_content;
+    Alcotest.test_case "parallel wirelength within +2% of reference" `Quick
+      test_wirelength_bound;
+    Alcotest.test_case "DSE selections identical across place modes" `Quick
+      test_dse_selections_mode_independent;
+    Alcotest.test_case "analytic seed triggers early exit" `Quick
+      test_analytic_seed_early_exit;
+  ]
