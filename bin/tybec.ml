@@ -811,14 +811,133 @@ let serve_cmd =
             "Evaluation-pool domains the engine keeps for exploration \
              requests (0 = one per core).")
   in
-  let run () addr workers queue_cap jobs =
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Serve through N shard processes sharing the listen port \
+             (SO_REUSEPORT, or an inherited listening fd on kernels \
+             without it / unix sockets / port 0). The parent supervises: \
+             crashed shards restart, SIGTERM drains every shard, and the \
+             admin address aggregates /metrics, /metrics.json and \
+             /healthz across them.")
+  in
+  let batch_window_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "batch-window-ms" ] ~docv:"MS"
+          ~doc:
+            "Enable request batching: hold arriving check/cost/synth/sim \
+             requests up to MS milliseconds (or --batch-max requests) and \
+             evaluate the window in one pool dispatch, deduplicating \
+             identical requests. Overrides \\$(b,TYTRA_BATCH) \
+             (\"off\", \"WINDOW\" or \"WINDOW:MAX\").")
+  in
+  let batch_max_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Max requests per batch window (default 16).")
+  in
+  let admin_addr_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "admin-addr" ] ~docv:"ADDR"
+          ~doc:
+            "With --shards: where the supervisor serves the aggregated \
+             /metrics, /metrics.json and /healthz. Default: work port + 1 \
+             (ephemeral when the work address is a unix socket or port 0).")
+  in
+  let shard_child_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shard-child" ] ~docv:"I"
+          ~doc:
+            "Internal: run as shard I of a --shards front (set by the \
+             supervisor, with the socket mode in the environment).")
+  in
+  let shard_admin_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "shard-admin" ] ~docv:"ADDR"
+          ~doc:
+            "Internal: this shard's private metrics endpoint (set by the \
+             supervisor; scraped by the aggregator).")
+  in
+  let run () addr workers queue_cap jobs shards batch_window_ms batch_max
+      admin_addr shard_child shard_admin =
     guarded @@ fun () ->
     traced "serve" @@ fun () ->
     let jobs = if jobs = 0 then Tytra_exec.Pool.default_jobs () else jobs in
+    let workers = max 1 workers and queue_cap = max 1 queue_cap in
+    let config = { Engine.default_config with jobs } in
     match
-      Tytra_engine.Daemon.run
-        ~config:{ Engine.default_config with jobs }
-        ~workers:(max 1 workers) ~queue_cap:(max 1 queue_cap) ~addr ()
+      match shard_child with
+      | Some _ ->
+          (* shard child: the supervisor tells us how to get the socket *)
+          let reuseport, listen_fd =
+            match Tytra_engine.Shards.child_socket () with
+            | Tytra_engine.Shards.Child_plain -> (false, None)
+            | Tytra_engine.Shards.Child_reuseport -> (true, None)
+            | Tytra_engine.Shards.Child_fd fd -> (false, Some fd)
+          in
+          Tytra_engine.Daemon.run ~config ~workers ~queue_cap
+            ?batch_window_ms ?batch_max ~reuseport ?listen_fd
+            ?admin_addr:shard_admin ~addr ()
+      | None ->
+          if shards <= 1 then
+            Tytra_engine.Daemon.run ~config ~workers ~queue_cap
+              ?batch_window_ms ?batch_max ?admin_addr ~addr ()
+          else begin
+            let is_unix =
+              String.length addr > 5 && String.sub addr 0 5 = "unix:"
+            in
+            let admin_addr =
+              match admin_addr with
+              | Some a -> a
+              | None -> (
+                  (* default: work port + 1 on the same host *)
+                  match
+                    if is_unix then None else String.rindex_opt addr ':'
+                  with
+                  | Some i -> (
+                      match
+                        int_of_string_opt
+                          (String.sub addr (i + 1)
+                             (String.length addr - i - 1))
+                      with
+                      | Some p when p > 0 ->
+                          String.sub addr 0 (i + 1) ^ string_of_int (p + 1)
+                      | _ -> "127.0.0.1:0")
+                  | None -> (
+                      match if is_unix then None else int_of_string_opt addr
+                      with
+                      | Some p when p > 0 -> string_of_int (p + 1)
+                      | _ -> "127.0.0.1:0"))
+            in
+            let child_argv ~shard ~admin_addr:shard_admin_addr =
+              Array.of_list
+                ([
+                   Sys.executable_name; "serve";
+                   "--addr"; addr;
+                   "--workers"; string_of_int workers;
+                   "--queue-cap"; string_of_int queue_cap;
+                   "--jobs"; string_of_int jobs;
+                 ]
+                @ (match batch_window_ms with
+                  | Some w -> [ "--batch-window-ms"; string_of_float w ]
+                  | None -> [])
+                @ (match batch_max with
+                  | Some m -> [ "--batch-max"; string_of_int m ]
+                  | None -> [])
+                @ [
+                    "--shard-child"; string_of_int shard;
+                    "--shard-admin"; shard_admin_addr;
+                  ])
+            in
+            Tytra_engine.Shards.run ~shards ~addr ~admin_addr ~child_argv ()
+          end
     with
     | () -> 0
     | exception Failure m ->
@@ -830,10 +949,14 @@ let serve_cmd =
        ~doc:
          "Serve the cost model as a long-lived daemon: POST /v1/submit \
           speaks the versioned JSON protocol (DESIGN.md §13); /metrics and \
-          /healthz answer on the same port. SIGTERM drains gracefully.")
+          /healthz answer on the same port. --shards N scales to a \
+          multi-process front, --batch-window-ms batches request \
+          evaluation, and \"stream\":true on an explore answers JSONL \
+          progress frames (DESIGN.md §15). SIGTERM drains gracefully.")
     Term.(
       const run $ observability_term $ addr_arg $ workers_arg $ queue_cap_arg
-      $ jobs_arg)
+      $ jobs_arg $ shards_arg $ batch_window_arg $ batch_max_arg
+      $ admin_addr_arg $ shard_child_arg $ shard_admin_arg)
 
 (* ---- import (legacy front ends) ---- *)
 

@@ -1,0 +1,166 @@
+(** Time/size-windowed request accumulation in front of
+    {!Engine.submit_batch}.
+
+    The daemon's worker domains block one request each; without batching
+    every request pays a full pool dispatch. The batcher turns that into
+    amortized dispatch: callers park their request in a shared pending
+    list and block on a condition; a single dispatcher domain holds a
+    window open — until [max_size] requests are pending or [window_ms]
+    has elapsed since the first — then drains the window into one
+    {!Engine.submit_batch} call and wakes every caller with its own
+    result.
+
+    Latency contract: a lone request waits at most the window (default
+    2 ms) on top of its own evaluation; under load the window fills
+    before it expires and adds nothing. Identical requests landing in
+    one window collapse to a single evaluation ([submit_batch] dedup),
+    which is precisely the stampede the response cache cannot absorb
+    (concurrent misses race past each other).
+
+    OCaml's [Condition] has no timed wait, so the dispatcher slices the
+    window into short sleeps and re-checks the pending count — worst
+    case it oversleeps by one slice (0.5 ms). *)
+
+module Metrics = Tytra_telemetry.Metrics
+
+type slot = {
+  s_item : Engine.batch_item;
+  mutable s_result : (Engine.response, Engine.error) result option;
+}
+
+type t = {
+  engine : Engine.t;
+  window_s : float;
+  max_size : int;
+  mutex : Mutex.t;
+  cond : Condition.t;  (* broadcast on: results filled, or stop *)
+  mutable pending : slot list;  (* newest first *)
+  mutable stopping : bool;
+  mutable stopped : bool;  (* dispatcher exited; submit after this = Overloaded *)
+  mutable dispatcher : unit Domain.t option;
+}
+
+let window_slice_s = 0.0005
+
+let drain_locked t =
+  let slots = List.rev t.pending in
+  t.pending <- [];
+  slots
+
+(* Runs outside the lock: the evaluation must never block producers from
+   parking into the *next* window. *)
+let dispatch t slots =
+  match slots with
+  | [] -> ()
+  | _ ->
+      let results =
+        Engine.submit_batch t.engine (List.map (fun s -> s.s_item) slots)
+      in
+      Mutex.lock t.mutex;
+      List.iter2 (fun s r -> s.s_result <- Some r) slots results;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+
+let rec dispatcher_loop t =
+  Mutex.lock t.mutex;
+  (* wait for work (or stop) *)
+  while t.pending = [] && not t.stopping do
+    Condition.wait t.cond t.mutex
+  done;
+  if t.pending = [] && t.stopping then begin
+    t.stopped <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    Mutex.unlock t.mutex;
+    (* hold the window open until it fills, expires, or we are draining *)
+    let deadline = Unix.gettimeofday () +. t.window_s in
+    let rec hold () =
+      Mutex.lock t.mutex;
+      let full = List.length t.pending >= t.max_size in
+      let stop_now = t.stopping in
+      Mutex.unlock t.mutex;
+      if (not full) && (not stop_now) && Unix.gettimeofday () < deadline
+      then begin
+        Unix.sleepf window_slice_s;
+        hold ()
+      end
+    in
+    hold ();
+    Mutex.lock t.mutex;
+    let slots = drain_locked t in
+    Mutex.unlock t.mutex;
+    dispatch t slots;
+    dispatcher_loop t
+  end
+
+let create ?(window_ms = 2.0) ?(max_size = 16) engine =
+  let t =
+    {
+      engine;
+      window_s = Float.max 0.0 window_ms /. 1000.0;
+      max_size = max 1 max_size;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      pending = [];
+      stopping = false;
+      stopped = false;
+      dispatcher = None;
+    }
+  in
+  t.dispatcher <- Some (Domain.spawn (fun () -> dispatcher_loop t));
+  t
+
+let window_ms t = t.window_s *. 1000.0
+let max_size t = t.max_size
+
+(* Blocks the calling domain until the dispatcher fills the slot. *)
+let submit ?deadline_s ?retries t req =
+  let slot =
+    { s_item = Engine.batch_item ?deadline_s ?retries req; s_result = None }
+  in
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    Metrics.incr "engine.batch.rejected";
+    Error Engine.Overloaded
+  end
+  else begin
+    t.pending <- slot :: t.pending;
+    Condition.broadcast t.cond;
+    while slot.s_result = None && not t.stopped do
+      Condition.wait t.cond t.mutex
+    done;
+    let r =
+      match slot.s_result with
+      | Some r -> r
+      | None ->
+          (* stop raced us in before the dispatcher saw the slot *)
+          Metrics.incr "engine.batch.rejected";
+          Error Engine.Overloaded
+    in
+    Mutex.unlock t.mutex;
+    r
+  end
+
+(* Graceful drain: flag stop, wake the dispatcher; it flushes every
+   pending window (the [stopping] check inside [hold] cuts the window
+   short) and exits on the empty queue. Call after the server has
+   stopped accepting, so nothing new arrives mid-drain. *)
+let stop t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  if already then begin
+    (* a concurrent stop owns the join; wait for its drain to finish *)
+    while not t.stopped do
+      Condition.wait t.cond t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    Mutex.unlock t.mutex;
+    Option.iter Domain.join t.dispatcher
+  end

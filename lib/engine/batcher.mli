@@ -1,0 +1,42 @@
+(** Time/size-windowed request accumulation in front of
+    {!Engine.submit_batch}.
+
+    A single dispatcher domain holds a window open — until [max_size]
+    requests are pending or [window_ms] has elapsed since the first —
+    then drains the window into one {!Engine.submit_batch} call and
+    wakes every blocked caller with its own result. A lone request
+    waits at most the window on top of its own evaluation; under load
+    the window fills before it expires and adds no latency. Identical
+    requests landing in one window collapse to one evaluation.
+
+    [tybec serve] routes batchable requests (check/cost/synth/sim)
+    through one of these when [TYTRA_BATCH] / [--batch-window-ms] is
+    set; [Explore] requests bypass it. *)
+
+type t
+
+val create : ?window_ms:float -> ?max_size:int -> Engine.t -> t
+(** [create ?window_ms ?max_size engine] — start the dispatcher domain.
+    Defaults: 2 ms window, 16 requests. [window_ms = 0] still batches
+    whatever arrives while a dispatch is in flight (pure size-windowing
+    with no added idle latency). *)
+
+val submit :
+  ?deadline_s:float ->
+  ?retries:int ->
+  t ->
+  Engine.request ->
+  (Engine.response, Engine.error) result
+(** [submit ?deadline_s ?retries t req] — park the request in the
+    current window and block until its result is ready. Same contract
+    as {!Engine.submit} (never raises); after {!stop} has completed,
+    answers [Error Overloaded] ([engine.batch.rejected]). *)
+
+val stop : t -> unit
+(** Graceful drain: flush every pending request through a final
+    dispatch, then join the dispatcher. Call after the server has
+    stopped accepting. Idempotent; concurrent callers block until the
+    drain completes. *)
+
+val window_ms : t -> float
+val max_size : t -> int

@@ -1,25 +1,54 @@
 (** [tybec serve] — the cost model as a long-lived service.
 
     Public interface of [Tytra_engine.Daemon]. See [daemon.ml] for the
-    route table and drain contract. *)
+    route table, batching/streaming behavior and drain contract. *)
 
-val handler : Engine.t -> Tytra_telemetry.Serve.handler
+val handler : ?batcher:Batcher.t -> Engine.t -> Tytra_telemetry.Serve.handler
 (** The route table: [POST /v1/submit] (the {!Protocol} codec),
     [GET /v1/protocol]; everything else falls through to the built-in
-    metrics routes. Exposed so tests can mount an engine on an
+    metrics routes. With [batcher], the batchable ops
+    (check/cost/synth/sim) are submitted through it instead of
+    {!Engine.submit}. Exposed so tests can mount an engine on an
     ephemeral-port server directly. *)
+
+val streamer : Engine.t -> Tytra_telemetry.Serve.streamer
+(** Streamed-progress route: a [POST /v1/submit] whose body is a
+    well-formed [explore] with ["stream":true] is answered as JSONL —
+    one {!Protocol.encode_progress} frame per sweep wave, then one
+    result frame. Everything else returns [None] (falls through to
+    {!handler}). *)
+
+val parse_batch_spec : string -> (float * int) option
+(** Parse a [TYTRA_BATCH] value: ["off"]/["0"]/[""] → [None],
+    ["W"] → window of W ms with the default max size (16),
+    ["W:M"] → window + max batch size. Malformed specs read as off. *)
 
 val run :
   ?config:Engine.config ->
   ?workers:int ->
   ?queue_cap:int ->
+  ?batch_window_ms:float ->
+  ?batch_max:int ->
+  ?reuseport:bool ->
+  ?listen_fd:Unix.file_descr ->
+  ?admin_addr:string ->
   addr:string ->
   unit ->
   unit
-(** [run ?config ?workers ?queue_cap ~addr ()] — create an engine,
+(** [run ?config ?workers ?queue_cap ?batch_window_ms ?batch_max
+    ?reuseport ?listen_fd ?admin_addr ~addr ()] — create an engine,
     serve it on [addr] ([HOST:PORT], [:PORT], [PORT] or [unix:PATH])
     with [workers] domains and a bounded queue of [queue_cap]
     connections (full queue ⇒ 429), and block until SIGTERM/SIGINT.
-    On signal: graceful drain — stop accepting, answer everything
-    in flight, join, print the served/rejected accounting. Returns
-    normally so the CLI exits 0. *)
+
+    Batching is enabled when [batch_window_ms] is given or the
+    [TYTRA_BATCH] environment variable holds a non-off spec (flags beat
+    the environment; [batch_max] defaults to the spec's or 16).
+    [reuseport]/[listen_fd] pass through to {!Tytra_telemetry.Serve.start}
+    for multi-shard fronts ({!Shards}); [admin_addr] additionally serves
+    the plain metrics routes on a second address (each shard's private
+    scrape endpoint).
+
+    On signal: graceful drain — stop accepting, answer everything in
+    flight, flush the batcher, join, print the served/rejected
+    accounting. Returns normally so the CLI exits 0. *)

@@ -561,7 +561,7 @@ let dispatch_cached t ?on_progress req =
           | Error _ -> ());
           r)
 
-let submit ?deadline_s ?(retries = 0) ?on_progress t req =
+let run_one ?deadline_s ?(retries = 0) ?on_progress t req =
   Metrics.incr "engine.requests";
   Span.with_ ~name:"engine.submit"
     ~attrs:[ ("op", Span.Str (op_name req)) ]
@@ -592,3 +592,76 @@ let submit ?deadline_s ?(retries = 0) ?on_progress t req =
         e
   in
   go 0
+
+let submit ?deadline_s ?retries ?on_progress t req =
+  run_one ?deadline_s ?retries ?on_progress t req
+
+(* ------------------------------------------------------------------ *)
+(* Batched submission                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type batch_item = {
+  bi_request : request;
+  bi_deadline_s : float option;
+  bi_retries : int;
+}
+
+let batch_item ?deadline_s ?(retries = 0) req =
+  { bi_request = req; bi_deadline_s = deadline_s; bi_retries = retries }
+
+(* One pool dispatch for many requests. Items whose (request digest,
+   deadline, retries) triple coincides are deduplicated: the request
+   runs once and every duplicate shares its result — exactly what the
+   response cache would have answered for all but the first, minus the
+   race where identical in-flight requests each miss and each pay the
+   evaluation. Explore requests (and requests over unreadable files)
+   have no digest and are never coalesced. Error isolation is free:
+   [run_one] never raises, so [Pool.map]'s first-exception contract is
+   vacuous and a failing item cannot abort its batchmates. Nested
+   parallelism degrades safely: an [Explore] item fanning out on its own
+   pool inside a worker runs sequentially ([Pool.inside_worker]). *)
+let submit_batch t (items : batch_item list) : (response, error) result list =
+  match items with
+  | [] -> []
+  | _ ->
+      let n = List.length items in
+      Metrics.incr ~by:n "engine.batch.requests";
+      Metrics.incr "engine.batch.dispatches";
+      Metrics.observe "engine.batch.occupancy" (float_of_int n);
+      (* group: first-occurrence order; each group carries one
+         representative item, every item an index into the groups *)
+      let tbl = Hashtbl.create (2 * n) in
+      let reps = ref [] and ngroups = ref 0 in
+      let assign =
+        List.mapi
+          (fun i it ->
+            let key =
+              match request_key it.bi_request with
+              | None -> Printf.sprintf "unique:%d" i
+              | Some digest ->
+                  Printf.sprintf "digest:%s|deadline:%s|retries:%d" digest
+                    (match it.bi_deadline_s with
+                    | None -> "-"
+                    | Some d -> string_of_float d)
+                    it.bi_retries
+            in
+            match Hashtbl.find_opt tbl key with
+            | Some g -> g
+            | None ->
+                let g = !ngroups in
+                Hashtbl.add tbl key g;
+                incr ngroups;
+                reps := it :: !reps;
+                g)
+          items
+      in
+      Metrics.incr ~by:(n - !ngroups) "engine.batch.dedup_hits";
+      let results =
+        Pool.map t.pool
+          (fun it ->
+            run_one ?deadline_s:it.bi_deadline_s ~retries:it.bi_retries t
+              it.bi_request)
+          (List.rev !reps)
+        |> Array.of_list
+      in
+      List.map (fun g -> results.(g)) assign

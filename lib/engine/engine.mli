@@ -164,6 +164,33 @@ val submit :
     [on_progress] receives live sweep coverage for [Explore] requests.
     Never raises. *)
 
+(** {2 Batched submission} *)
+
+type batch_item = {
+  bi_request : request;
+  bi_deadline_s : float option;  (** per-request cooperative deadline *)
+  bi_retries : int;              (** per-request transient retry budget *)
+}
+
+val batch_item : ?deadline_s:float -> ?retries:int -> request -> batch_item
+(** [batch_item ?deadline_s ?retries req] — one slot of a batch, with
+    the same per-request knobs as {!submit} (retries default 0). *)
+
+val submit_batch : t -> batch_item list -> (response, error) result list
+(** [submit_batch t items] — run many requests in one pool dispatch,
+    answers in input order. Items whose full request digest {e and}
+    deadline/retries coincide are deduplicated within the batch: the
+    request runs once and every duplicate shares the result (so
+    [engine.requests] counts evaluations dispatched, not items
+    submitted). [Explore] items are never coalesced and may not batch
+    well (each fans out internally); the daemon keeps them out of
+    batches. Error isolation matches {!submit}: a failing item yields
+    its own [Error] and cannot abort its batchmates. Never raises.
+
+    Telemetry: [engine.batch.requests] (items), [engine.batch.dispatches]
+    (calls), [engine.batch.dedup_hits] (items − unique groups), and the
+    [engine.batch.occupancy] histogram (items per call). *)
+
 val load_design :
   t -> source -> (Tytra_ir.Ast.design, error) result
 (** Parse + validate a source through the engine's content-addressed

@@ -10,11 +10,19 @@
     Versioning policy mirrors the event-log schema (DESIGN.md §12):
     additive field changes keep the version, renames/removals/meaning
     changes bump it. Decoders ignore unknown fields; requests with a
-    version other than {!version} are rejected. *)
+    version other than {!version} are rejected.
+
+    Minor version 1 (additive, old clients unaffected): the ["stream"]
+    request flag and the JSONL frame vocabulary for streamed explore
+    progress — [{"frame":"progress",...}] lines followed by one final
+    [{"frame":"result",...}] line that is a normal reply object plus
+    the discriminator. *)
 
 module J = Tytra_telemetry.Jsenc
 
 let version = 1
+
+let version_minor = 1
 
 (* ------------------------------------------------------------------ *)
 (* Field-level codecs                                                  *)
@@ -59,13 +67,15 @@ let opt f k = function None -> "" | Some v -> f k v
 (* Request encoding                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let encode_request ?deadline_s ?(retries = 0) (req : Engine.request) : string =
+let encode_request ?deadline_s ?(retries = 0) ?(stream = false)
+    (req : Engine.request) : string =
   let envelope =
     [ int_field "v" version; str_field "op" (Engine.op_name req) ]
     @ (match deadline_s with
       | None -> []
       | Some d -> [ num_field "deadline_s" d ])
-    @ if retries = 0 then [] else [ int_field "retries" retries ]
+    @ (if retries = 0 then [] else [ int_field "retries" retries ])
+    @ if stream then [ bool_field "stream" true ] else []
   in
   let body =
     match req with
@@ -117,6 +127,7 @@ type decoded_request = {
   dq_request : Engine.request;
   dq_deadline_s : float option;  (** request-level deadline *)
   dq_retries : int;              (** request-level retry budget *)
+  dq_stream : bool;              (** client asked for progress frames *)
 }
 
 let bad fmt = Printf.ksprintf (fun m -> Error (Engine.Bad_request m)) fmt
@@ -279,7 +290,8 @@ let decode_request (body : string) : (decoded_request, Engine.error) result =
                   let* dq_request = decode_op j op in
                   let* dq_deadline_s = float_opt_member "deadline_s" j in
                   let* dq_retries = int_member ~default:0 "retries" j in
-                  Ok { dq_request; dq_deadline_s; dq_retries }))
+                  let* dq_stream = bool_member ~default:false "stream" j in
+                  Ok { dq_request; dq_deadline_s; dq_retries; dq_stream }))
       | _ -> bad "request must be a JSON object")
 
 (* ------------------------------------------------------------------ *)
@@ -311,22 +323,25 @@ let payload_fields = function
         | Some s -> str_field "selected" s
         | None -> Printf.sprintf "%s:null" (J.json_string "selected")) ]
 
-let encode_response ~op (resp : Engine.response) : string =
-  obj
-    [ int_field "v" version;
-      str_field "status" "ok";
-      str_field "op" op;
-      str_field "text" resp.Engine.rs_text;
-      Printf.sprintf "%s:%s" (J.json_string "data")
-        (obj (payload_fields resp.Engine.rs_payload)) ]
+let response_fields ~op (resp : Engine.response) =
+  [ int_field "v" version;
+    str_field "status" "ok";
+    str_field "op" op;
+    str_field "text" resp.Engine.rs_text;
+    Printf.sprintf "%s:%s" (J.json_string "data")
+      (obj (payload_fields resp.Engine.rs_payload)) ]
 
-let encode_error (err : Engine.error) : string =
-  obj
-    [ int_field "v" version;
-      str_field "status" "error";
-      str_field "error" (Engine.error_kind err);
-      int_field "exit_code" (Engine.exit_code err);
-      str_field "message" (Engine.error_message err) ]
+let error_fields (err : Engine.error) =
+  [ int_field "v" version;
+    str_field "status" "error";
+    str_field "error" (Engine.error_kind err);
+    int_field "exit_code" (Engine.exit_code err);
+    str_field "message" (Engine.error_message err) ]
+
+let encode_response ~op (resp : Engine.response) : string =
+  obj (response_fields ~op resp)
+
+let encode_error (err : Engine.error) : string = obj (error_fields err)
 
 (** HTTP status for an error reply: wire-level rejections are 400,
     rejected designs 422, deadline expiry 504, shed load 429, engine
@@ -390,3 +405,67 @@ let decode_reply (body : string) : (reply, string) result =
                      \"message\"")
           | Some s -> Error (Printf.sprintf "unknown status %S" s)
           | None -> Error "missing field \"status\""))
+
+(* ------------------------------------------------------------------ *)
+(* Streamed frames (minor version 1)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A streamed reply is JSONL: zero or more progress frames, then exactly
+   one result frame — a normal reply object plus the "frame":"result"
+   discriminator, so a client that ignores unknown fields and reads the
+   last line sees a v1 reply. *)
+
+let encode_progress ~op (p : Tytra_dse.Dse.progress) : string =
+  obj
+    [ int_field "v" version;
+      str_field "frame" "progress";
+      str_field "op" op;
+      int_field "space" p.Tytra_dse.Dse.pr_space;
+      int_field "evaluated" p.Tytra_dse.Dse.pr_evaluated;
+      int_field "pruned" p.Tytra_dse.Dse.pr_pruned;
+      int_field "failed" p.Tytra_dse.Dse.pr_failed;
+      int_field "restored" p.Tytra_dse.Dse.pr_restored ]
+
+let encode_response_frame ~op (resp : Engine.response) : string =
+  obj (response_fields ~op resp @ [ str_field "frame" "result" ])
+
+let encode_error_frame (err : Engine.error) : string =
+  obj (error_fields err @ [ str_field "frame" "result" ])
+
+type progress_frame = {
+  pf_op : string;
+  pf_space : int;
+  pf_evaluated : int;
+  pf_pruned : int;
+  pf_failed : int;
+  pf_restored : int;
+}
+
+type frame = Frame_progress of progress_frame | Frame_result of reply
+
+let decode_frame (line : string) : (frame, string) result =
+  match J.parse line with
+  | Error m -> Error ("invalid JSON: " ^ m)
+  | Ok j -> (
+      match J.str_member "frame" j with
+      | Some "progress" ->
+          let geti k =
+            match J.num_member k j with
+            | Some f -> int_of_float f
+            | None -> 0
+          in
+          Ok
+            (Frame_progress
+               {
+                 pf_op = Option.value ~default:"" (J.str_member "op" j);
+                 pf_space = geti "space";
+                 pf_evaluated = geti "evaluated";
+                 pf_pruned = geti "pruned";
+                 pf_failed = geti "failed";
+                 pf_restored = geti "restored";
+               })
+      | Some "result" | None ->
+          (* an unframed reply decodes as the result — one code path for
+             streamed and plain bodies *)
+          Result.map (fun r -> Frame_result r) (decode_reply line)
+      | Some s -> Error (Printf.sprintf "unknown frame kind %S" s))

@@ -8,19 +8,28 @@
 val version : int
 (** Protocol version stamped into (and required of) every message. *)
 
+val version_minor : int
+(** Additive revision within {!version}. Minor 1 added the ["stream"]
+    request flag and the progress/result frame vocabulary; decoders
+    never check it (additive changes are compatible by construction),
+    clients read it from [GET /v1/protocol] for capability discovery. *)
+
 (** {2 Requests} *)
 
 val encode_request :
-  ?deadline_s:float -> ?retries:int -> Engine.request -> string
+  ?deadline_s:float -> ?retries:int -> ?stream:bool -> Engine.request -> string
 (** One JSON object for the request, including the envelope fields
     ([deadline_s]/[retries] are the request-level budget passed to
-    [Engine.submit]; omitted when absent/zero). *)
+    [Engine.submit]; omitted when absent/zero). [stream] (default
+    false) asks the server to answer with JSONL progress frames —
+    meaningful for [explore] only. *)
 
 (** A decoded request: the typed operation plus its envelope. *)
 type decoded_request = {
   dq_request : Engine.request;
   dq_deadline_s : float option;
   dq_retries : int;
+  dq_stream : bool;
 }
 
 val decode_request : string -> (decoded_request, Engine.error) result
@@ -58,6 +67,39 @@ type reply =
 val decode_reply : string -> (reply, string) result
 (** Decode a response body (inverse of {!encode_response} and
     {!encode_error}). *)
+
+(** {2 Streamed frames} (minor version 1)
+
+    A streamed reply body is JSONL: zero or more progress frames
+    followed by exactly one result frame — a normal reply object plus a
+    ["frame":"result"] discriminator, so a version-1 client that reads
+    the last line and ignores unknown fields still sees a valid reply. *)
+
+val encode_progress : op:string -> Tytra_dse.Dse.progress -> string
+(** [{"v":1,"frame":"progress","op":…,"space":…,"evaluated":…,
+    "pruned":…,"failed":…,"restored":…}] — one line per sweep wave. *)
+
+val encode_response_frame : op:string -> Engine.response -> string
+(** {!encode_response} plus the ["frame":"result"] discriminator. *)
+
+val encode_error_frame : Engine.error -> string
+(** {!encode_error} plus the ["frame":"result"] discriminator. *)
+
+type progress_frame = {
+  pf_op : string;
+  pf_space : int;
+  pf_evaluated : int;
+  pf_pruned : int;
+  pf_failed : int;
+  pf_restored : int;
+}
+
+type frame = Frame_progress of progress_frame | Frame_result of reply
+
+val decode_frame : string -> (frame, string) result
+(** Decode one JSONL line of a streamed reply. A line with no ["frame"]
+    field decodes as [Frame_result] (plain replies are result frames),
+    so clients use one decoder for streamed and unstreamed bodies. *)
 
 (** {2 Field codecs} (shared with tests) *)
 

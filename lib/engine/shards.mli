@@ -1,0 +1,47 @@
+(** Multi-process sharded serving: the supervisor behind
+    [tybec serve --shards N].
+
+    Public interface of [Tytra_engine.Shards]. Each shard is a full
+    {!Daemon} process (own engine, pool, caches, batcher); the parent
+    binds or brokers the shared listen socket, restarts crashed shards,
+    forwards SIGTERM for a graceful drain, and serves aggregated
+    [/metrics] (per-shard [shard="i"] labels), [/metrics.json] and
+    [/healthz] on the admin address. See [shards.ml] for the socket
+    strategy (SO_REUSEPORT vs inherited fd) and supervision loop. *)
+
+(** How a shard child should obtain its listen socket, decoded from the
+    environment the supervisor set ([TYTRA_SHARD_FD] /
+    [TYTRA_SHARD_REUSEPORT]). *)
+type child_socket =
+  | Child_plain  (** not a shard child: bind normally *)
+  | Child_reuseport  (** bind the address yourself with [SO_REUSEPORT] *)
+  | Child_fd of Unix.file_descr
+      (** accept on this inherited, already-listening descriptor *)
+
+val child_socket : unit -> child_socket
+(** Called by the [serve] CLI when [--shard-child] is present. *)
+
+val reuseport_supported : unit -> bool
+(** Probe the kernel: can a TCP socket take [SO_REUSEPORT]? *)
+
+val http_get :
+  ?timeout_s:float -> addr:string -> string -> (int * string, string) result
+(** [http_get ~addr path] — one-shot HTTP/1.0 GET against ["unix:PATH"]
+    or ["host:port"], returning (status, close-delimited body). The
+    aggregator's scrape client; exposed for tests. *)
+
+val run :
+  shards:int ->
+  addr:string ->
+  admin_addr:string ->
+  child_argv:(shard:int -> admin_addr:string -> string array) ->
+  unit ->
+  unit
+(** [run ~shards ~addr ~admin_addr ~child_argv ()] — supervise [shards]
+    child processes serving [addr] and block until SIGTERM/SIGINT.
+    [child_argv ~shard ~admin_addr] must produce the full exec argv for
+    one shard (our own executable with [serve --shard-child i
+    --shard-admin <admin_addr>] plus the user's flags); the supervisor
+    adds the socket-mode environment. On signal: forward SIGTERM to
+    every shard, wait for each to drain, stop the aggregator, clean up
+    the admin sockets. *)

@@ -1157,16 +1157,24 @@ let run ?(device = Tytra_device.Device.stratixv_gsd8) ?(effort = `Normal)
   Log.debug (fun m ->
       m "placed %s: %d cells, %d/%d swaps accepted, avg wire %.2f"
         d.Ast.d_name nl.n_cells pl.pl_accepted pl.pl_moves pl.pl_avg_wire);
-  let util = Tytra_device.Resources.max_utilization device usage in
-  let base = device.Tytra_device.Device.fmax_base_mhz in
-  let congestion = pl.pl_avg_wire /. float_of_int (max 1 pl.pl_grid) in
+  (* routing estimate: wirelength-driven congestion and utilization
+     derate the achievable clock (under its own span so the route share
+     of a synth shows up next to elaborate/place in traces) *)
   let fmax =
-    base
-    /. (1.0 +. (0.55 *. congestion))
-    *. (1.0 -. (0.25 *. Float.min 1.0 util))
-    *. Prng.noise rng 0.02
+    Tytra_telemetry.Span.with_ ~name:"sim.techmap.route"
+      ~attrs:[ ("cells", Tytra_telemetry.Span.Int nl.n_cells) ]
+      (fun () ->
+        let util = Tytra_device.Resources.max_utilization device usage in
+        let base = device.Tytra_device.Device.fmax_base_mhz in
+        let congestion = pl.pl_avg_wire /. float_of_int (max 1 pl.pl_grid) in
+        let fmax =
+          base
+          /. (1.0 +. (0.55 *. congestion))
+          *. (1.0 -. (0.25 *. Float.min 1.0 util))
+          *. Prng.noise rng 0.02
+        in
+        Float.max (0.4 *. base) (Float.min base fmax))
   in
-  let fmax = Float.max (0.4 *. base) (Float.min base fmax) in
   {
     tm_usage = usage;
     tm_fmax_mhz = fmax;

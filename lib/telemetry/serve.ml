@@ -50,6 +50,20 @@ type response = {
 
 type handler = request -> response option
 
+(** An incrementally-written response: the head is sent first (status +
+    content type, no Content-Length — the body is delimited by the
+    connection close), then [st_write] runs with a chunk writer that
+    pushes bytes to the peer immediately. Built for the JSONL progress
+    frames of streaming [explore] requests (DESIGN.md §15). *)
+type stream = {
+  st_status : int;
+  st_content_type : string;
+  st_write : (string -> unit) -> unit;
+}
+
+type streamer = request -> stream option
+(** Consulted before the plain {!handler}; [None] falls through. *)
+
 type server = {
   sv_fd : Unix.file_descr;
   sv_addr : string;         (* bound address, e.g. "127.0.0.1:9464" *)
@@ -90,6 +104,11 @@ let http_response { rs_status; rs_content_type; rs_body } =
     "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     (reason_of_status rs_status)
     rs_content_type (String.length rs_body) rs_body
+
+(* Stream head: no Content-Length — the close delimits the body. *)
+let http_stream_head status content_type =
+  Printf.sprintf "HTTP/1.0 %s\r\nContent-Type: %s\r\nConnection: close\r\n\r\n"
+    (reason_of_status status) content_type
 
 let text status body = { rs_status = status; rs_content_type = "text/plain"; rs_body = body }
 
@@ -220,26 +239,51 @@ let write_all fd s =
   in
   try go 0 with Unix.Unix_error _ -> ()
 
-let handle_client handler fd requests =
+let handle_client ?(streamer : streamer = fun _ -> None) handler fd requests =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      let resp =
-        match read_request fd with
-        | Error status -> text status (reason_of_status status ^ "\n")
-        | Ok rq -> (
-            match
-              match handler rq with
-              | Some r -> r
-              | None -> metrics_routes rq
-            with
-            | r -> r
-            | exception e ->
-                text 500 ("internal error: " ^ Printexc.to_string e ^ "\n"))
+      let count () =
+        Atomic.incr requests;
+        Metrics.incr "serve.requests"
       in
-      write_all fd (http_response resp);
-      Atomic.incr requests;
-      Metrics.incr "serve.requests")
+      match read_request fd with
+      | Error status ->
+          write_all fd (http_response (text status (reason_of_status status ^ "\n")));
+          count ()
+      | Ok rq -> (
+          match streamer rq with
+          | Some st ->
+              (* head first, then chunks as the producer emits them; a
+                 peer that goes away mid-stream just loses bytes
+                 (write_all swallows the error), the producer finishes
+                 undisturbed *)
+              write_all fd (http_stream_head st.st_status st.st_content_type);
+              (try st.st_write (fun chunk -> write_all fd chunk)
+               with e ->
+                 write_all fd
+                   ("{\"status\":\"error\",\"message\":"
+                   ^ Printf.sprintf "%S" (Printexc.to_string e)
+                   ^ "}\n"));
+              count ()
+          | exception e ->
+              write_all fd
+                (http_response
+                   (text 500 ("internal error: " ^ Printexc.to_string e ^ "\n")));
+              count ()
+          | None ->
+              let resp =
+                match
+                  match handler rq with
+                  | Some r -> r
+                  | None -> metrics_routes rq
+                with
+                | r -> r
+                | exception e ->
+                    text 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
+              in
+              write_all fd (http_response resp);
+              count ()))
 
 (* --------------------------------------------------------------- *)
 (* Accept loop and worker handoff                                   *)
@@ -248,8 +292,8 @@ let handle_client handler fd requests =
 (* workers = 0: serve inline on the accept domain (the metrics-scrape
    configuration). workers > 0: enqueue for the worker domains, shedding
    load with a 429 when the bounded queue is full. *)
-let accept_loop fd stop handler ~inline ~queue ~queue_cap ~mutex ~cond
-    ~requests ~rejected =
+let accept_loop fd stop handler ~streamer ~inline ~queue ~queue_cap ~mutex
+    ~cond ~requests ~rejected =
   let rec go () =
     if not (Atomic.get stop) then begin
       (match Unix.select [ fd ] [] [] 0.2 with
@@ -258,7 +302,7 @@ let accept_loop fd stop handler ~inline ~queue ~queue_cap ~mutex ~cond
           match Unix.accept ~cloexec:true fd with
           | client, _ ->
               if inline then (
-                try handle_client handler client requests
+                try handle_client ~streamer handler client requests
                 with _ -> (
                   try Unix.close client with Unix.Unix_error _ -> ()))
               else begin
@@ -288,7 +332,7 @@ let accept_loop fd stop handler ~inline ~queue ~queue_cap ~mutex ~cond
 (* Workers block on the condition until work or shutdown; on shutdown
    they drain whatever the accept loop already admitted (the graceful-
    drain contract: every accepted connection is answered). *)
-let worker_loop handler ~stop ~queue ~mutex ~cond ~requests =
+let worker_loop handler ~streamer ~stop ~queue ~mutex ~cond ~requests =
   let rec go () =
     Mutex.lock mutex;
     let rec await () =
@@ -305,7 +349,7 @@ let worker_loop handler ~stop ~queue ~mutex ~cond ~requests =
     match job with
     | None -> ()
     | Some client ->
-        (try handle_client handler client requests
+        (try handle_client ~streamer handler client requests
          with _ -> (try Unix.close client with Unix.Unix_error _ -> ()));
         go ()
   in
@@ -324,9 +368,26 @@ let parse_tcp_addr addr =
       (host, int_of_string port)
   | None -> ("127.0.0.1", int_of_string addr)
 
-let start ?(handler : handler = fun _ -> None) ?(workers = 0)
-    ?(queue_cap = 64) ~addr () : server =
+let start ?(handler : handler = fun _ -> None)
+    ?(streamer : streamer = fun _ -> None) ?(workers = 0) ?(queue_cap = 64)
+    ?(reuseport = false) ?listen_fd ~addr () : server =
   let fd, bound, unix_path =
+    match listen_fd with
+    | Some fd ->
+        (* Inherited listening socket (multi-shard fallback mode): it is
+           already bound and listening; several shards may accept on the
+           same fd, so it must be non-blocking — select can report it
+           readable in every shard while only one accept succeeds. *)
+        Unix.set_nonblock fd;
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (a, p) ->
+              Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+          | Unix.ADDR_UNIX p -> "unix:" ^ p
+          | exception Unix.Unix_error _ -> addr
+        in
+        (fd, bound, None)
+    | None ->
     if String.length addr > 5 && String.sub addr 0 5 = "unix:" then begin
       let path = String.sub addr 5 (String.length addr - 5) in
       (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -360,6 +421,15 @@ let start ?(handler : handler = fun _ -> None) ?(workers = 0)
       in
       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      if reuseport then begin
+        (* Shared-nothing sharding: every shard binds the same port and
+           the kernel load-balances accepts. Raises on kernels without
+           SO_REUSEPORT — {!Shards} probes support before asking. *)
+        try Unix.setsockopt fd Unix.SO_REUSEPORT true
+        with e ->
+          Unix.close fd;
+          failwith ("SO_REUSEPORT unsupported: " ^ Printexc.to_string e)
+      end;
       (try Unix.bind fd (Unix.ADDR_INET (inet, port))
        with e ->
          Unix.close fd;
@@ -374,7 +444,7 @@ let start ?(handler : handler = fun _ -> None) ?(workers = 0)
       (fd, bound, None)
     end
   in
-  Unix.listen fd (max 16 queue_cap);
+  if listen_fd = None then Unix.listen fd (max 16 queue_cap);
   let stop = Atomic.make false in
   let requests = Atomic.make 0 in
   let rejected = Atomic.make 0 in
@@ -384,13 +454,13 @@ let start ?(handler : handler = fun _ -> None) ?(workers = 0)
   let inline = workers <= 0 in
   let accept =
     Domain.spawn (fun () ->
-        accept_loop fd stop handler ~inline ~queue ~queue_cap ~mutex ~cond
-          ~requests ~rejected)
+        accept_loop fd stop handler ~streamer ~inline ~queue ~queue_cap ~mutex
+          ~cond ~requests ~rejected)
   in
   let worker_domains =
     List.init (max 0 workers) (fun _ ->
         Domain.spawn (fun () ->
-            worker_loop handler ~stop ~queue ~mutex ~cond ~requests))
+            worker_loop handler ~streamer ~stop ~queue ~mutex ~cond ~requests))
   in
   {
     sv_fd = fd;

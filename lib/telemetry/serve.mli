@@ -27,28 +27,55 @@ type handler = request -> response option
     An exception from a handler is answered as a 500, never crashes a
     worker. *)
 
+(** An incrementally-written response: the head goes out first (status +
+    content type, {e no} Content-Length — the connection close delimits
+    the body), then [st_write] runs with a chunk writer that pushes
+    bytes to the peer immediately. Built for the JSONL progress frames
+    of streaming [explore] requests (DESIGN.md §15). *)
+type stream = {
+  st_status : int;
+  st_content_type : string;
+  st_write : (string -> unit) -> unit;
+}
+
+type streamer = request -> stream option
+(** Consulted before the plain {!handler}; [None] falls through. An
+    exception raised before the head is written is answered as a 500;
+    after the head, an error line is appended and the stream closed. *)
+
 type server
 (** A running server: listening socket, accept domain and (optionally)
     worker domains. Opaque — lifecycle goes through {!start}/{!stop}. *)
 
 val start :
   ?handler:handler ->
+  ?streamer:streamer ->
   ?workers:int ->
   ?queue_cap:int ->
+  ?reuseport:bool ->
+  ?listen_fd:Unix.file_descr ->
   addr:string ->
   unit ->
   server
-(** [start ?handler ?workers ?queue_cap ~addr ()] — bind, listen and serve
-    on background domains. [addr] is [HOST:PORT], [:PORT], [PORT] (TCP;
-    port 0 = ephemeral) or [unix:PATH]. Raises [Failure] on an unusable
-    address.
+(** [start ?handler ?streamer ?workers ?queue_cap ?reuseport ?listen_fd
+    ~addr ()] — bind, listen and serve on background domains. [addr] is
+    [HOST:PORT], [:PORT], [PORT] (TCP; port 0 = ephemeral) or
+    [unix:PATH]. Raises [Failure] on an unusable address.
 
     With [workers = 0] (default) the accept loop serves one request at a
     time — the metrics-scrape configuration. With [workers = n > 0],
     accepted connections are handed to a bounded queue ([queue_cap],
     default 64) drained by [n] worker domains; when the queue is full
     the connection is answered [429 Too Many Requests] immediately
-    (admission control). *)
+    (admission control).
+
+    [reuseport] (TCP only) sets [SO_REUSEPORT] before binding so several
+    shard processes can bind the same port and let the kernel balance
+    accepts; raises [Failure] on kernels without it. [listen_fd] skips
+    bind/listen entirely and accepts on an inherited, already-listening
+    socket (the sharding fallback when [SO_REUSEPORT] is unavailable or
+    the port is ephemeral); the fd is switched to non-blocking since
+    several processes may race on one accept. *)
 
 val stop : server -> unit
 (** Graceful drain: stop accepting, answer every connection already

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Instruction-count benchmarking (ROADMAP: "adopt instruction-count-
+based benchmarking a la nim-lang/ci_bench").
+
+Runs one bench (E9: parse+validate throughput) under valgrind's
+cachegrind with FIXED cache parameters, so the reported instruction
+and cache-miss counts are a deterministic function of the code, not of
+the host machine. Compares against the committed CSV baseline
+(scripts/ci_bench_baseline.csv) and reports the per-metric delta.
+
+This step is NON-BLOCKING by design: it always exits 0 unless invoked
+incorrectly. Wall-clock-free counts are the long-term replacement for
+ratio-gated span timings, but the baseline needs to soak across a few
+CI runs before it can gate; until then the delta report is
+informational. Drift beyond --warn-pct (default 2%) is flagged loudly
+in the output.
+
+Degrades gracefully:
+  - valgrind not installed      -> prints a note, exit 0
+  - bench binary not built      -> prints a note, exit 0
+  - no baseline CSV yet         -> writes one, reports "baseline created"
+
+Usage:
+  ci_bench.py [--bench PATH] [--baseline PATH] [--update] [--warn-pct P]
+"""
+
+import csv
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# Fixed cache geometry: i7-ish 32K/32K/8M, pinned so LL/D1 miss counts
+# never depend on the runner's real cache hierarchy.
+CACHE_ARGS = [
+    "--I1=32768,8,64",
+    "--D1=32768,8,64",
+    "--LL=8388608,16,64",
+]
+
+BENCH_ARGS = ["e9"]
+
+# Metrics harvested from cachegrind's exit summary, in report order.
+METRICS = [
+    ("I_refs", r"I\s+refs:\s+([\d,]+)"),
+    ("D_refs", r"D\s+refs:\s+([\d,]+)"),
+    ("D1_misses", r"D1\s+misses:\s+([\d,]+)"),
+    ("LL_misses", r"LL\s+misses:\s+([\d,]+)"),
+]
+
+
+def note(msg):
+    print(f"ci_bench: {msg}")
+
+
+def parse_counts(text):
+    out = {}
+    for name, pat in METRICS:
+        m = re.search(pat, text)
+        if m:
+            out[name] = int(m.group(1).replace(",", ""))
+    return out
+
+
+def load_baseline(path):
+    base = {}
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            base[row["metric"]] = int(row["value"])
+    return base
+
+
+def write_baseline(path, counts):
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["bench", "metric", "value"])
+        for name, _ in METRICS:
+            if name in counts:
+                w.writerow(["e9", name, counts[name]])
+
+
+def main():
+    bench = "_build/default/bench/main.exe"
+    baseline = os.path.join(os.path.dirname(__file__), "ci_bench_baseline.csv")
+    update = False
+    warn_pct = 2.0
+    argv = sys.argv[1:]
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--bench":
+            bench = argv[i + 1]
+            i += 2
+        elif a == "--baseline":
+            baseline = argv[i + 1]
+            i += 2
+        elif a == "--update":
+            update = True
+            i += 1
+        elif a == "--warn-pct":
+            warn_pct = float(argv[i + 1])
+            i += 2
+        else:
+            sys.exit(f"unknown option {a}\n\n{__doc__}")
+
+    if shutil.which("valgrind") is None:
+        note("valgrind not found on PATH; skipping (non-blocking)")
+        return
+    if not os.path.exists(bench):
+        note(f"bench binary {bench} not built; skipping (non-blocking)")
+        return
+
+    with tempfile.NamedTemporaryFile(prefix="cachegrind.", suffix=".out") as tf:
+        cmd = (
+            ["valgrind", "--tool=cachegrind"]
+            + CACHE_ARGS
+            + [f"--cachegrind-out-file={tf.name}", bench]
+            + BENCH_ARGS
+        )
+        note("running: " + " ".join(cmd))
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=3600
+        )
+    if proc.returncode != 0:
+        note(f"bench under cachegrind exited {proc.returncode}; skipping")
+        sys.stdout.write(proc.stderr[-2000:])
+        return
+
+    counts = parse_counts(proc.stderr)
+    if "I_refs" not in counts:
+        note("could not parse cachegrind summary; skipping")
+        sys.stdout.write(proc.stderr[-2000:])
+        return
+
+    note(
+        "E9 under cachegrind (fixed 32K/32K/8M caches): "
+        + ", ".join(f"{k}={counts[k]:,}" for k, _ in METRICS if k in counts)
+    )
+
+    if update or not os.path.exists(baseline):
+        write_baseline(baseline, counts)
+        note(
+            f"baseline {'updated' if update else 'created'} at {baseline} "
+            "(commit it to pin instruction counts)"
+        )
+        return
+
+    base = load_baseline(baseline)
+    drifted = []
+    print(f"{'metric':<12} {'baseline':>16} {'current':>16} {'delta':>9}")
+    for name, _ in METRICS:
+        if name not in counts or name not in base:
+            continue
+        b, c = base[name], counts[name]
+        pct = 100.0 * (c - b) / b if b else 0.0
+        print(f"{name:<12} {b:>16,} {c:>16,} {pct:>+8.2f}%")
+        if abs(pct) > warn_pct:
+            drifted.append((name, pct))
+    if drifted:
+        note(
+            "DRIFT over "
+            + f"{warn_pct:.1f}%: "
+            + ", ".join(f"{n} {p:+.2f}%" for n, p in drifted)
+            + " — investigate or refresh with --update (non-blocking)"
+        )
+    else:
+        note(f"all metrics within {warn_pct:.1f}% of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -538,18 +538,21 @@ let status_of raw =
   | _ :: code :: _ -> int_of_string code
   | _ -> Alcotest.failf "unparseable status line in %S" raw
 
-let with_server ?(workers = 2) ?(queue_cap = 64) ?handler f =
+let with_server ?(workers = 2) ?(queue_cap = 64) ?handler ?streamer f =
   let was = Tytra_telemetry.Metrics.snapshot in
   ignore was;
   Tytra_telemetry.Control.set_enabled true;
-  let handler =
+  let handler, streamer =
     match handler with
-    | Some h -> h
+    | Some h -> (h, Option.value streamer ~default:(fun _ -> None))
     | None ->
         let eng = Engine.create Engine.default_config in
-        Daemon.handler eng
+        ( Daemon.handler eng,
+          Option.value streamer ~default:(Daemon.streamer eng) )
   in
-  let sv = Serve.start ~handler ~workers ~queue_cap ~addr:"127.0.0.1:0" () in
+  let sv =
+    Serve.start ~handler ~streamer ~workers ~queue_cap ~addr:"127.0.0.1:0" ()
+  in
   Fun.protect
     ~finally:(fun () ->
       Serve.stop sv;
@@ -714,6 +717,320 @@ let test_serve_drain_answers_inflight () =
   Alcotest.(check int) "all three served" 3 (Serve.requests_served sv);
   Tytra_telemetry.Control.set_enabled false
 
+(* ------------------------------------------------------------------ *)
+(* Batching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Batcher = Tytra_engine.Batcher
+
+let counter name =
+  Option.value ~default:0.0 (Tytra_telemetry.Metrics.counter_value name)
+
+let with_metrics f =
+  Tytra_telemetry.Control.set_enabled true;
+  Fun.protect ~finally:(fun () -> Tytra_telemetry.Control.set_enabled false) f
+
+(* A batch of five requests with three distinct digests: the batch path
+   must dedup the duplicates, dispatch once per group, and hand back
+   byte-identical results in submission order. *)
+let test_submit_batch_identity () =
+  with_metrics @@ fun () ->
+  let workload =
+    [
+      Engine.Check { source = Engine.Inline sor_inline };
+      cost_inline sor_inline;
+      cost_inline hotspot_inline;
+      cost_inline sor_inline;
+      Engine.Check { source = Engine.Inline sor_inline };
+    ]
+  in
+  let reference =
+    let eng = Engine.create Engine.default_config in
+    List.map
+      (fun req ->
+        match Engine.submit eng req with
+        | Ok r -> r.Engine.rs_text
+        | Error e -> Alcotest.failf "reference: %s" (Engine.error_message e))
+      workload
+  in
+  let eng = Engine.create Engine.default_config in
+  let requests0 = counter "engine.batch.requests" in
+  let dispatches0 = counter "engine.batch.dispatches" in
+  let dedup0 = counter "engine.batch.dedup_hits" in
+  let results = Engine.submit_batch eng (List.map Engine.batch_item workload) in
+  Alcotest.(check int) "one result per item" (List.length workload)
+    (List.length results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok resp ->
+          Alcotest.(check string)
+            (Printf.sprintf "item %d byte-identical to sequential" i)
+            (List.nth reference i) resp.Engine.rs_text
+      | Error e ->
+          Alcotest.failf "item %d failed: %s" i (Engine.error_message e))
+    results;
+  Alcotest.(check (float 0.)) "batch counted all items" 5.0
+    (counter "engine.batch.requests" -. requests0);
+  Alcotest.(check (float 0.)) "one dispatch" 1.0
+    (counter "engine.batch.dispatches" -. dispatches0);
+  Alcotest.(check (float 0.)) "two duplicates coalesced" 2.0
+    (counter "engine.batch.dedup_hits" -. dedup0);
+  (* a second identical batch is absorbed by the response cache: one
+     exact hit per dispatched group, nothing recomputed *)
+  let s0 = Engine.response_cache_stats eng in
+  let again = Engine.submit_batch eng (List.map Engine.batch_item workload) in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok resp ->
+          Alcotest.(check string)
+            (Printf.sprintf "replayed item %d identical" i)
+            (List.nth reference i) resp.Engine.rs_text
+      | Error e ->
+          Alcotest.failf "replayed item %d failed: %s" i
+            (Engine.error_message e))
+    again;
+  let s1 = Engine.response_cache_stats eng in
+  Alcotest.(check int) "one response-cache hit per group" 3
+    (s1.Tytra_exec.Cache.st_hits - s0.Tytra_exec.Cache.st_hits);
+  Alcotest.(check int) "no new miss"
+    s0.Tytra_exec.Cache.st_misses s1.Tytra_exec.Cache.st_misses
+
+(* A poisoned item in the middle of a batch fails alone: its neighbours
+   still succeed, and positions are preserved. *)
+let test_submit_batch_error_isolation () =
+  let eng = Engine.create Engine.default_config in
+  let items =
+    [
+      Engine.batch_item (cost_inline sor_inline);
+      Engine.batch_item (cost_inline "this is not a design");
+      Engine.batch_item (cost_inline hotspot_inline);
+    ]
+  in
+  match Engine.submit_batch eng items with
+  | [ Ok _; Error (Engine.Parse_error _); Ok _ ] -> ()
+  | [ a; b; c ] ->
+      let show = function
+        | Ok _ -> "ok"
+        | Error e -> "error:" ^ Engine.error_kind e
+      in
+      Alcotest.failf "wrong shape: [%s; %s; %s]" (show a) (show b) (show c)
+  | l -> Alcotest.failf "expected 3 results, got %d" (List.length l)
+
+(* Four concurrent clients submitting the same request through the
+   batcher must coalesce into a single dispatch of a single group, and
+   a stopped batcher sheds deterministically. *)
+let test_batcher_coalesces () =
+  with_metrics @@ fun () ->
+  let eng = Engine.create Engine.default_config in
+  let b = Batcher.create ~window_ms:500.0 ~max_size:4 eng in
+  let dispatches0 = counter "engine.batch.dispatches" in
+  let dedup0 = counter "engine.batch.dedup_hits" in
+  let req = cost_inline sor_inline in
+  let clients =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Batcher.submit b req))
+  in
+  let results = List.map Domain.join clients in
+  let texts =
+    List.map
+      (function
+        | Ok r -> r.Engine.rs_text
+        | Error e -> Alcotest.failf "batched submit: %s" (Engine.error_message e))
+      results
+  in
+  (match texts with
+  | first :: rest ->
+      List.iter
+        (fun t -> Alcotest.(check string) "coalesced answers identical" first t)
+        rest
+  | [] -> Alcotest.fail "no results");
+  Alcotest.(check (float 0.)) "single dispatch for the burst" 1.0
+    (counter "engine.batch.dispatches" -. dispatches0);
+  Alcotest.(check (float 0.)) "three duplicates deduped" 3.0
+    (counter "engine.batch.dedup_hits" -. dedup0);
+  Batcher.stop b;
+  (* stop is idempotent and post-stop submissions are shed, not queued *)
+  Batcher.stop b;
+  let rejected0 = counter "engine.batch.rejected" in
+  (match Batcher.submit b req with
+  | Error Engine.Overloaded -> ()
+  | Error e ->
+      Alcotest.failf "expected overloaded, got %s" (Engine.error_kind e)
+  | Ok _ -> Alcotest.fail "stopped batcher accepted a request");
+  Alcotest.(check (float 0.)) "shed request counted" 1.0
+    (counter "engine.batch.rejected" -. rejected0)
+
+(* ------------------------------------------------------------------ *)
+(* Streamed progress over the wire                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_streamed_explore () =
+  let explore_req =
+    Engine.Explore
+      {
+        Engine.x_kernel = Engine.Sor;
+        x_size = 8;
+        x_max_lanes = 4;
+        x_device = dev;
+        x_form = Tytra_cost.Throughput.FormB;
+        x_nki = 1;
+        x_jobs = 1;
+        x_prune = false;
+        x_retries = 0;
+        x_deadline_s = None;
+        x_best_effort = false;
+        x_checkpoint = None;
+        x_checkpoint_every = 32;
+        x_resume = None;
+        x_place_mode = None;
+      }
+  in
+  let direct =
+    let eng = Engine.create Engine.default_config in
+    match Engine.submit eng explore_req with
+    | Ok r -> r.Engine.rs_text
+    | Error e -> Alcotest.failf "direct explore: %s" (Engine.error_message e)
+  in
+  with_server @@ fun sv ->
+  let sa = sockaddr_of sv in
+  let raw =
+    http_request sa "POST" "/v1/submit"
+      (Protocol.encode_request ~stream:true explore_req)
+  in
+  Alcotest.(check int) "streamed 200" 200 (status_of raw);
+  let frames =
+    body_of raw |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun line ->
+           match Protocol.decode_frame line with
+           | Ok f -> f
+           | Error m -> Alcotest.failf "frame decode: %s in %S" m line)
+  in
+  let progress, results =
+    List.partition
+      (function Protocol.Frame_progress _ -> true | _ -> false)
+      frames
+  in
+  Alcotest.(check bool) "at least one progress frame" true
+    (List.length progress >= 1);
+  List.iter
+    (function
+      | Protocol.Frame_progress p ->
+          Alcotest.(check string) "progress op" "explore" p.Protocol.pf_op;
+          Alcotest.(check bool) "evaluated within space" true
+            (p.Protocol.pf_evaluated <= p.Protocol.pf_space)
+      | _ -> ())
+    progress;
+  (match results with
+  | [ Protocol.Frame_result (Protocol.Reply_ok { rp_op; rp_text; _ }) ] ->
+      Alcotest.(check string) "result op" "explore" rp_op;
+      Alcotest.(check string) "streamed result = direct text" direct rp_text
+  | _ -> Alcotest.failf "expected exactly one ok result frame, got %d"
+           (List.length results));
+  (* the result frame is the last line of the stream *)
+  match List.rev frames with
+  | Protocol.Frame_result _ :: _ -> ()
+  | _ -> Alcotest.fail "stream did not end with the result frame"
+
+(* A non-streamed request through the same server must be unaffected by
+   the streaming path: plain framed JSON, no progress lines. *)
+let test_serve_stream_flag_opt_in () =
+  with_server @@ fun sv ->
+  let sa = sockaddr_of sv in
+  let req = Engine.Check { source = Engine.Inline sor_inline } in
+  let raw = http_request sa "POST" "/v1/submit" (Protocol.encode_request req) in
+  Alcotest.(check int) "200" 200 (status_of raw);
+  let body = String.trim (body_of raw) in
+  Alcotest.(check bool) "single-line body" true
+    (not (String.contains body '\n'));
+  match Protocol.decode_frame body with
+  | Ok (Protocol.Frame_result (Protocol.Reply_ok { rp_op; _ })) ->
+      Alcotest.(check string) "op" "check" rp_op
+  | Ok _ -> Alcotest.fail "expected a result frame"
+  | Error m -> Alcotest.failf "frame decode: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Response cache under concurrency                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic LRU phase with capacity 2, then a 4-domain storm: the
+   stats must stay exact — every cacheable submit is exactly one hit or
+   one miss, never both, never neither. *)
+let test_response_cache_concurrent () =
+  let eng =
+    Engine.create { Engine.default_config with response_cache_capacity = 2 }
+  in
+  let a = Engine.Check { source = Engine.Inline sor_inline } in
+  let b = Engine.Check { source = Engine.Inline hotspot_inline } in
+  let c = Engine.Check { source = Engine.Inline (sor_inline ^ "\n") } in
+  let submit req =
+    match Engine.submit eng req with
+    | Ok r -> r.Engine.rs_text
+    | Error e -> Alcotest.failf "submit: %s" (Engine.error_message e)
+  in
+  (* a,b fill the cache; c evicts a; b touches b; a evicts c *)
+  let ta = submit a in
+  let tb = submit b in
+  ignore (submit c);
+  ignore (submit b);
+  ignore (submit a);
+  let s = Engine.response_cache_stats eng in
+  Alcotest.(check int) "hits after LRU phase" 1 s.Tytra_exec.Cache.st_hits;
+  Alcotest.(check int) "misses after LRU phase" 4 s.Tytra_exec.Cache.st_misses;
+  Alcotest.(check int) "evictions after LRU phase" 2
+    s.Tytra_exec.Cache.st_evictions;
+  Alcotest.(check int) "size capped" 2 s.Tytra_exec.Cache.st_size;
+  (* storm: 4 domains × 8 submits over {a,b}; the cache may interleave
+     arbitrarily but the accounting must balance exactly *)
+  let storm () =
+    List.init 8 (fun i ->
+        let req, expect = if i mod 2 = 0 then (a, ta) else (b, tb) in
+        (submit req, expect))
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn storm) in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (got, expect) ->
+          Alcotest.(check string) "storm answer byte-identical" expect got)
+        (Domain.join d))
+    domains;
+  let s' = Engine.response_cache_stats eng in
+  Alcotest.(check int) "every storm submit counted exactly once" 32
+    (s'.Tytra_exec.Cache.st_hits + s'.Tytra_exec.Cache.st_misses
+    - s.Tytra_exec.Cache.st_hits - s.Tytra_exec.Cache.st_misses);
+  Alcotest.(check bool) "size still capped" true
+    (s'.Tytra_exec.Cache.st_size <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Batch-window spec parsing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_batch_spec () =
+  let check spec expected =
+    let show = function
+      | None -> "off"
+      | Some (w, m) -> Printf.sprintf "%g:%d" w m
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "spec %S" spec)
+      (show expected)
+      (show (Daemon.parse_batch_spec spec))
+  in
+  check "off" None;
+  check "0" None;
+  check "" None;
+  check "no" None;
+  check "false" None;
+  check "2" (Some (2.0, 16));
+  check "2.5" (Some (2.5, 16));
+  check "2:32" (Some (2.0, 32));
+  check "0.5:8" (Some (0.5, 8));
+  check "garbage" None;
+  check "-1" None;
+  check "2:0" None
+
 let suite =
   [
     Alcotest.test_case "request codec round-trips" `Quick
@@ -747,4 +1064,17 @@ let suite =
       test_serve_backpressure;
     Alcotest.test_case "serve: drain answers in-flight requests" `Quick
       test_serve_drain_answers_inflight;
+    Alcotest.test_case "batch: dedup + byte-identity + exact counters" `Slow
+      test_submit_batch_identity;
+    Alcotest.test_case "batch: errors are isolated per item" `Quick
+      test_submit_batch_error_isolation;
+    Alcotest.test_case "batcher: concurrent burst coalesces to one dispatch"
+      `Slow test_batcher_coalesces;
+    Alcotest.test_case "serve: streamed explore emits progress frames" `Slow
+      test_serve_streamed_explore;
+    Alcotest.test_case "serve: streaming is strictly opt-in" `Quick
+      test_serve_stream_flag_opt_in;
+    Alcotest.test_case "response cache: exact stats under a 4-domain storm"
+      `Slow test_response_cache_concurrent;
+    Alcotest.test_case "TYTRA_BATCH spec parsing" `Quick test_parse_batch_spec;
   ]
