@@ -865,8 +865,39 @@ let serve_cmd =
             "Internal: this shard's private metrics endpoint (set by the \
              supervisor; scraped by the aggregator).")
   in
+  let deadline_default_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-default-ms" ] ~docv:"MS"
+          ~doc:
+            "Default evaluation budget for requests that carry no \
+             deadline_ms of their own: the request is answered with a \
+             typed deadline_exceeded / timeout error instead of running \
+             unboundedly. A request's own deadline_ms always wins.")
+  in
+  let cache_journal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-journal" ] ~docv:"PATH"
+          ~doc:
+            "Journal the engine's response cache to an append-only, \
+             digest-validated JSONL file so a restarted process reloads \
+             its hot cache (crash-safe warm state, DESIGN.md §16). With \
+             --shards, each shard journals to PATH.shard-I.")
+  in
+  let restart_budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:
+            "With --shards: consecutive restarts (exponential backoff, \
+             0.5s doubling to 30s) a crash-looping shard is allowed \
+             before the supervisor marks it dead; 5s of healthy uptime \
+             resets the count.")
+  in
   let run () addr workers queue_cap jobs shards batch_window_ms batch_max
-      admin_addr shard_child shard_admin =
+      admin_addr shard_child shard_admin deadline_default_ms cache_journal
+      restart_budget =
     guarded @@ fun () ->
     traced "serve" @@ fun () ->
     let jobs = if jobs = 0 then Tytra_exec.Pool.default_jobs () else jobs in
@@ -884,11 +915,13 @@ let serve_cmd =
           in
           Tytra_engine.Daemon.run ~config ~workers ~queue_cap
             ?batch_window_ms ?batch_max ~reuseport ?listen_fd
-            ?admin_addr:shard_admin ~addr ()
+            ?admin_addr:shard_admin ?deadline_default_ms ?cache_journal
+            ~addr ()
       | None ->
           if shards <= 1 then
             Tytra_engine.Daemon.run ~config ~workers ~queue_cap
-              ?batch_window_ms ?batch_max ?admin_addr ~addr ()
+              ?batch_window_ms ?batch_max ?admin_addr ?deadline_default_ms
+              ?cache_journal ~addr ()
           else begin
             let is_unix =
               String.length addr > 5 && String.sub addr 0 5 = "unix:"
@@ -931,12 +964,26 @@ let serve_cmd =
                 @ (match batch_max with
                   | Some m -> [ "--batch-max"; string_of_int m ]
                   | None -> [])
+                @ (match deadline_default_ms with
+                  | Some d ->
+                      [ "--deadline-default-ms"; string_of_float d ]
+                  | None -> [])
+                @ (match cache_journal with
+                  | Some p ->
+                      (* per-shard journal: shards share nothing, the
+                         warm state included *)
+                      [
+                        "--cache-journal";
+                        p ^ ".shard-" ^ string_of_int shard;
+                      ]
+                  | None -> [])
                 @ [
                     "--shard-child"; string_of_int shard;
                     "--shard-admin"; shard_admin_addr;
                   ])
             in
-            Tytra_engine.Shards.run ~shards ~addr ~admin_addr ~child_argv ()
+            Tytra_engine.Shards.run ~restart_budget ~shards ~addr ~admin_addr
+              ~child_argv ()
           end
     with
     | () -> 0
@@ -956,7 +1003,8 @@ let serve_cmd =
     Term.(
       const run $ observability_term $ addr_arg $ workers_arg $ queue_cap_arg
       $ jobs_arg $ shards_arg $ batch_window_arg $ batch_max_arg
-      $ admin_addr_arg $ shard_child_arg $ shard_admin_arg)
+      $ admin_addr_arg $ shard_child_arg $ shard_admin_arg
+      $ deadline_default_arg $ cache_journal_arg $ restart_budget_arg)
 
 (* ---- import (legacy front ends) ---- *)
 

@@ -25,6 +25,8 @@ module Metrics = Tytra_telemetry.Metrics
 
 type slot = {
   s_item : Engine.batch_item;
+  s_budget : float option;   (* the deadline budget as submitted *)
+  s_expires : float option;  (* absolute wall time the budget runs out *)
   mutable s_result : (Engine.response, Engine.error) result option;
 }
 
@@ -48,18 +50,49 @@ let drain_locked t =
   slots
 
 (* Runs outside the lock: the evaluation must never block producers from
-   parking into the *next* window. *)
+   parking into the *next* window. Slots whose budget ran out while they
+   were parked in the window are answered with a typed
+   [Deadline_exceeded] instead of being evaluated — by the time their
+   result came back the client's deadline would already have passed, so
+   the evaluation would be pure waste heat. *)
 let dispatch t slots =
   match slots with
   | [] -> ()
   | _ ->
-      let results =
-        Engine.submit_batch t.engine (List.map (fun s -> s.s_item) slots)
+      let now = Unix.gettimeofday () in
+      let live, expired =
+        List.partition
+          (fun s ->
+            match s.s_expires with
+            | Some e when e <= now -> false
+            | _ -> true)
+          slots
       in
-      Mutex.lock t.mutex;
-      List.iter2 (fun s r -> s.s_result <- Some r) slots results;
-      Condition.broadcast t.cond;
-      Mutex.unlock t.mutex
+      (match expired with
+      | [] -> ()
+      | _ ->
+          Metrics.incr ~by:(List.length expired) "engine.batch.deadline_expired";
+          Mutex.lock t.mutex;
+          List.iter
+            (fun s ->
+              s.s_result <-
+                Some
+                  (Error
+                     (Engine.Deadline_exceeded
+                        (Option.value ~default:0.0 s.s_budget))))
+            expired;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex);
+      match live with
+      | [] -> ()
+      | _ ->
+          let results =
+            Engine.submit_batch t.engine (List.map (fun s -> s.s_item) live)
+          in
+          Mutex.lock t.mutex;
+          List.iter2 (fun s r -> s.s_result <- Some r) live results;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex
 
 let rec dispatcher_loop t =
   Mutex.lock t.mutex;
@@ -115,10 +148,25 @@ let create ?(window_ms = 2.0) ?(max_size = 16) engine =
 let window_ms t = t.window_s *. 1000.0
 let max_size t = t.max_size
 
-(* Blocks the calling domain until the dispatcher fills the slot. *)
+(* Blocks the calling domain until the dispatcher fills the slot.
+   Deadline admission: a request whose whole budget is no larger than
+   the batch window cannot possibly be answered in time — the window
+   alone would consume it — so it is refused up front with a typed
+   [Deadline_exceeded] rather than parked to die in the queue. *)
 let submit ?deadline_s ?retries t req =
+  match deadline_s with
+  | Some budget when budget <= t.window_s ->
+      Metrics.incr "engine.batch.deadline_rejected";
+      Error (Engine.Deadline_exceeded budget)
+  | _ ->
   let slot =
-    { s_item = Engine.batch_item ?deadline_s ?retries req; s_result = None }
+    {
+      s_item = Engine.batch_item ?deadline_s ?retries req;
+      s_budget = deadline_s;
+      s_expires =
+        Option.map (fun d -> Unix.gettimeofday () +. d) deadline_s;
+      s_result = None;
+    }
   in
   Mutex.lock t.mutex;
   if t.stopped then begin

@@ -30,7 +30,14 @@ val submit :
 (** [submit ?deadline_s ?retries t req] — park the request in the
     current window and block until its result is ready. Same contract
     as {!Engine.submit} (never raises); after {!stop} has completed,
-    answers [Error Overloaded] ([engine.batch.rejected]). *)
+    answers [Error Overloaded] ([engine.batch.rejected]).
+
+    Deadline propagation: a request whose budget is no larger than the
+    batch window is refused immediately with
+    [Error (Deadline_exceeded _)] ([engine.batch.deadline_rejected]) —
+    it could never be answered in time — and a request whose budget
+    runs out while parked in the window is answered the same way
+    without being evaluated ([engine.batch.deadline_expired]). *)
 
 val stop : t -> unit
 (** Graceful drain: flush every pending request through a final

@@ -69,7 +69,17 @@ let resolve_batch ?window_ms ?max_size () : (float * int) option =
       in
       Some (Float.max 0.0 w, max 1 m)
 
-let submit_via ?batcher eng (d : Protocol.decoded_request) =
+(* The request's own deadline always wins; [--deadline-default-ms] only
+   fills in for frames that carry none, so old clients get a budget
+   without resending anything. *)
+let effective_deadline ?default_deadline_s (d : Protocol.decoded_request) =
+  match d.Protocol.dq_deadline_s with
+  | Some _ as s -> s
+  | None -> default_deadline_s
+
+let submit_via ?batcher ?default_deadline_s eng
+    (d : Protocol.decoded_request) =
+  let deadline_s = effective_deadline ?default_deadline_s d in
   let batchable =
     (* explores fan out on the pool themselves; batching them serializes
        their inner parallelism for no dedup benefit *)
@@ -77,14 +87,31 @@ let submit_via ?batcher eng (d : Protocol.decoded_request) =
   in
   match batcher with
   | Some b when batchable ->
-      Batcher.submit ?deadline_s:d.Protocol.dq_deadline_s
-        ~retries:d.Protocol.dq_retries b d.Protocol.dq_request
+      Batcher.submit ?deadline_s ~retries:d.Protocol.dq_retries b
+        d.Protocol.dq_request
   | _ ->
-      Engine.submit ?deadline_s:d.Protocol.dq_deadline_s
-        ~retries:d.Protocol.dq_retries eng d.Protocol.dq_request
+      Engine.submit ?deadline_s ~retries:d.Protocol.dq_retries eng
+        d.Protocol.dq_request
 
-let handler ?batcher (eng : Engine.t) (rq : Serve.request) :
-    Serve.response option =
+(* Wire-level failures — the server gave up before (or instead of)
+   reaching the engine — rendered as typed protocol errors, so a client
+   never has to parse plain-text bodies to tell "you sent garbage" from
+   "the service is shedding load". *)
+let wire_error (status : int) : Serve.response option =
+  let err =
+    match status with
+    | 413 -> Some (Engine.Request_too_large Serve.max_body_bytes)
+    | 408 -> Some (Engine.Bad_request "timeout reading request")
+    | 429 -> Some Engine.Overloaded
+    | 400 -> Some (Engine.Bad_request "malformed HTTP request")
+    | _ -> None
+  in
+  Option.map
+    (fun e -> json_response status (Protocol.encode_error e))
+    err
+
+let handler ?batcher ?default_deadline_s (eng : Engine.t)
+    (rq : Serve.request) : Serve.response option =
   match (rq.Serve.rq_meth, rq.Serve.rq_path) with
   | "POST", "/v1/submit" ->
       Some
@@ -93,7 +120,7 @@ let handler ?batcher (eng : Engine.t) (rq : Serve.request) :
             (json_response (Protocol.http_status err)
                (Protocol.encode_error err))
         | Ok d -> (
-            match submit_via ?batcher eng d with
+            match submit_via ?batcher ?default_deadline_s eng d with
             | Ok resp ->
                 json_response 200
                   (Protocol.encode_response
@@ -114,7 +141,8 @@ let handler ?batcher (eng : Engine.t) (rq : Serve.request) :
    [explore] with ["stream":true] streams; every other body (including
    undecodable ones) falls through to the plain handler and its error
    rendering. Streamed requests bypass the batcher by construction. *)
-let streamer (eng : Engine.t) (rq : Serve.request) : Serve.stream option =
+let streamer ?default_deadline_s (eng : Engine.t) (rq : Serve.request) :
+    Serve.stream option =
   match (rq.Serve.rq_meth, rq.Serve.rq_path) with
   | "POST", "/v1/submit" -> (
       match Protocol.decode_request rq.Serve.rq_body with
@@ -132,7 +160,8 @@ let streamer (eng : Engine.t) (rq : Serve.request) : Serve.stream option =
                     write (Protocol.encode_progress ~op p ^ "\n")
                   in
                   match
-                    Engine.submit ?deadline_s:d.Protocol.dq_deadline_s
+                    Engine.submit
+                      ?deadline_s:(effective_deadline ?default_deadline_s d)
                       ~retries:d.Protocol.dq_retries ~on_progress eng req
                   with
                   | Ok resp ->
@@ -145,9 +174,17 @@ let streamer (eng : Engine.t) (rq : Serve.request) : Serve.stream option =
 
 let run ?(config = Engine.default_config) ?(workers = 4) ?(queue_cap = 64)
     ?batch_window_ms ?batch_max ?(reuseport = false) ?listen_fd ?admin_addr
-    ~addr () =
+    ?deadline_default_ms ?cache_journal ~addr () =
   (* the service exists to be scraped: metrics are always live here *)
   Tytra_telemetry.Control.set_enabled true;
+  let config =
+    match cache_journal with
+    | None -> config
+    | Some _ -> { config with Engine.cache_journal = cache_journal }
+  in
+  let default_deadline_s =
+    Option.map (fun ms -> Float.max 0.0 ms /. 1000.0) deadline_default_ms
+  in
   let eng = Engine.create config in
   let batcher =
     Option.map
@@ -155,8 +192,11 @@ let run ?(config = Engine.default_config) ?(workers = 4) ?(queue_cap = 64)
       (resolve_batch ?window_ms:batch_window_ms ?max_size:batch_max ())
   in
   let sv =
-    Serve.start ~handler:(handler ?batcher eng) ~streamer:(streamer eng)
-      ~workers ~queue_cap ~reuseport ?listen_fd ~addr ()
+    Serve.start
+      ~handler:(handler ?batcher ?default_deadline_s eng)
+      ~streamer:(streamer ?default_deadline_s eng)
+      ~error_responder:wire_error ~workers ~queue_cap ~reuseport ?listen_fd
+      ~addr ()
   in
   (* a shard's private observability endpoint: plain metrics routes on a
      second (usually unix-socket) server, so the parent aggregator can

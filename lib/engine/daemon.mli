@@ -3,20 +3,35 @@
     Public interface of [Tytra_engine.Daemon]. See [daemon.ml] for the
     route table, batching/streaming behavior and drain contract. *)
 
-val handler : ?batcher:Batcher.t -> Engine.t -> Tytra_telemetry.Serve.handler
+val handler :
+  ?batcher:Batcher.t ->
+  ?default_deadline_s:float ->
+  Engine.t ->
+  Tytra_telemetry.Serve.handler
 (** The route table: [POST /v1/submit] (the {!Protocol} codec),
     [GET /v1/protocol]; everything else falls through to the built-in
     metrics routes. With [batcher], the batchable ops
     (check/cost/synth/sim) are submitted through it instead of
-    {!Engine.submit}. Exposed so tests can mount an engine on an
+    {!Engine.submit}. [default_deadline_s] is applied to requests that
+    carry no deadline of their own (the frame's own [deadline_ms]
+    always wins). Exposed so tests can mount an engine on an
     ephemeral-port server directly. *)
 
-val streamer : Engine.t -> Tytra_telemetry.Serve.streamer
+val streamer :
+  ?default_deadline_s:float -> Engine.t -> Tytra_telemetry.Serve.streamer
 (** Streamed-progress route: a [POST /v1/submit] whose body is a
     well-formed [explore] with ["stream":true] is answered as JSONL —
     one {!Protocol.encode_progress} frame per sweep wave, then one
     result frame. Everything else returns [None] (falls through to
     {!handler}). *)
+
+val wire_error : int -> Tytra_telemetry.Serve.response option
+(** {!Tytra_telemetry.Serve.error_responder} used by {!run}: renders the
+    server's wire-level failure statuses as typed protocol errors —
+    400 → [Bad_request], 408 → [Bad_request] (read timeout),
+    413 → [Request_too_large], 429 → [Overloaded] — so every byte a
+    client ever reads off the socket is protocol JSON. Unknown statuses
+    return [None] (plain-text fallback). *)
 
 val parse_batch_spec : string -> (float * int) option
 (** Parse a [TYTRA_BATCH] value: ["off"]/["0"]/[""] → [None],
@@ -32,14 +47,17 @@ val run :
   ?reuseport:bool ->
   ?listen_fd:Unix.file_descr ->
   ?admin_addr:string ->
+  ?deadline_default_ms:float ->
+  ?cache_journal:string ->
   addr:string ->
   unit ->
   unit
 (** [run ?config ?workers ?queue_cap ?batch_window_ms ?batch_max
-    ?reuseport ?listen_fd ?admin_addr ~addr ()] — create an engine,
-    serve it on [addr] ([HOST:PORT], [:PORT], [PORT] or [unix:PATH])
-    with [workers] domains and a bounded queue of [queue_cap]
-    connections (full queue ⇒ 429), and block until SIGTERM/SIGINT.
+    ?reuseport ?listen_fd ?admin_addr ?deadline_default_ms
+    ?cache_journal ~addr ()] — create an engine, serve it on [addr]
+    ([HOST:PORT], [:PORT], [PORT] or [unix:PATH]) with [workers]
+    domains and a bounded queue of [queue_cap] connections (full queue
+    ⇒ typed 429), and block until SIGTERM/SIGINT.
 
     Batching is enabled when [batch_window_ms] is given or the
     [TYTRA_BATCH] environment variable holds a non-off spec (flags beat
@@ -48,6 +66,13 @@ val run :
     for multi-shard fronts ({!Shards}); [admin_addr] additionally serves
     the plain metrics routes on a second address (each shard's private
     scrape endpoint).
+
+    [deadline_default_ms] gives every request that carries no
+    [deadline_ms] of its own a default evaluation budget
+    ([--deadline-default-ms]); [cache_journal] overrides
+    [config.cache_journal] with an append-only response-cache journal
+    path, so a restarted process reloads its hot cache
+    ([--cache-journal], DESIGN.md §16).
 
     On signal: graceful drain — stop accepting, answer everything in
     flight, flush the batcher, join, print the served/rejected

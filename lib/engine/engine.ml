@@ -140,20 +140,30 @@ type error =
   | Parse_error of string      (** source unreadable or not TyTra-IR *)
   | Validation_error of string (** parsed but statically invalid *)
   | Timeout_error of float     (** request-level cooperative deadline expired *)
+  | Deadline_exceeded of float
+      (** deadline budget exhausted {e before} evaluation started
+          (batch-window admission, queue expiry) — the request was
+          never run, so retrying with a larger budget is safe *)
+  | Request_too_large of int   (** request body exceeded the wire cap (bytes) *)
   | Internal_error of string   (** an exception escaped the evaluation *)
   | Overloaded                 (** serve-side admission control shed this request *)
 
 (* The documented CLI contract (README "Exit codes"): 0 success,
    1 internal, 2 parse/input, 3 validation. *)
 let exit_code = function
-  | Bad_request _ | Parse_error _ -> 2
+  | Bad_request _ | Parse_error _ | Request_too_large _ -> 2
   | Validation_error _ -> 3
-  | Timeout_error _ | Internal_error _ | Overloaded -> 1
+  | Timeout_error _ | Deadline_exceeded _ | Internal_error _ | Overloaded -> 1
 
 let error_message = function
   | Bad_request m | Parse_error m | Validation_error m | Internal_error m -> m
   | Timeout_error allotted ->
       Printf.sprintf "request deadline exceeded (%g s)" allotted
+  | Deadline_exceeded budget ->
+      Printf.sprintf
+        "deadline budget (%g s) exhausted before evaluation started" budget
+  | Request_too_large cap ->
+      Printf.sprintf "request body exceeds the %d-byte limit" cap
   | Overloaded -> "engine overloaded, retry later"
 
 (** Stable machine-readable discriminator (the wire ["error"] field). *)
@@ -162,6 +172,8 @@ let error_kind = function
   | Parse_error _ -> "parse"
   | Validation_error _ -> "validation"
   | Timeout_error _ -> "timeout"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Request_too_large _ -> "request_too_large"
   | Internal_error _ -> "internal"
   | Overloaded -> "overloaded"
 
@@ -175,28 +187,78 @@ type config = {
       (** entries in the content-addressed parse+validate cache *)
   response_cache_capacity : int;
       (** entries in the full-request response cache *)
+  cache_journal : string option;
+      (** journal response-cache insertions to this file and replay it
+          at {!create}, so the warm cache survives a crash *)
 }
 
 let default_config =
-  { jobs = 1; parse_cache_capacity = 64; response_cache_capacity = 128 }
+  { jobs = 1; parse_cache_capacity = 64; response_cache_capacity = 128;
+    cache_journal = None }
 
 type t = {
   cfg : config;
   pool : Pool.t;
   parse_cache : (Ast.design, Tytra_ir.Error.t) result Cache.t;
   response_cache : response Cache.t;
+  journal : Journal.t option;
 }
 
+(* The journal payload is the marshaled response. Only bytes that came
+   back digest-valid from [Journal.load] reach [from_string], so the
+   unmarshal cannot read torn data; a response written by a different
+   binary is caught by the digest only if the file was torn, hence the
+   exception guard — an undecodable payload is skipped, never fatal. *)
+let response_of_journal (payload : string) : response option =
+  match (Marshal.from_string payload 0 : response) with
+  | rs -> Some rs
+  | exception _ -> None
+
+let replay_journal response_cache path =
+  let entries, skipped = Journal.load path in
+  let replayed =
+    List.fold_left
+      (fun n (key, payload) ->
+        match response_of_journal payload with
+        | Some rs ->
+            Cache.add response_cache ~key rs;
+            n + 1
+        | None -> n)
+      0 entries
+  in
+  if replayed > 0 then Metrics.incr ~by:replayed "engine.journal.replayed";
+  let skipped = skipped + (List.length entries - replayed) in
+  if skipped > 0 then Metrics.incr ~by:skipped "engine.journal.skipped";
+  Logs.info (fun m ->
+      m "cache journal %s: replayed %d entr%s (%d skipped)" path replayed
+        (if replayed = 1 then "y" else "ies")
+        skipped)
+
 let create cfg =
+  let response_cache =
+    Cache.create ~metrics_prefix:"engine.response_cache"
+      ~capacity:(max 1 cfg.response_cache_capacity) ()
+  in
+  let journal =
+    match cfg.cache_journal with
+    | None -> None
+    | Some path ->
+        replay_journal response_cache path;
+        let j = Journal.open_append path in
+        if j = None then
+          Logs.warn (fun m ->
+              m "cache journal %s: cannot open for append, journaling off"
+                path);
+        j
+  in
   {
     cfg;
     pool = Pool.create ~jobs:(max 1 cfg.jobs) ();
     parse_cache =
       Cache.create ~metrics_prefix:"engine.parse_cache"
         ~capacity:(max 1 cfg.parse_cache_capacity) ();
-    response_cache =
-      Cache.create ~metrics_prefix:"engine.response_cache"
-        ~capacity:(max 1 cfg.response_cache_capacity) ();
+    response_cache;
+    journal;
   }
 
 let config t = t.cfg
@@ -486,12 +548,15 @@ let dispatch t ?on_progress = function
    (source bytes, calibration bytes — a path alone is not a key; the
    path itself still participates because diagnostic names and design
    names embed it), and ambient state the evaluation reads (the resolved
-   placement mode, for synthesis). [None] means uncacheable: Explore
-   carries side effects (checkpoint files, progress callbacks) and its
-   point-level caches already absorb repeat cost; a source or calib file
-   that cannot be read is keyless and falls through to the normal error
-   path. Only [Ok] responses are inserted, so errors are re-derived (and
-   re-rendered with current file state) every time. *)
+   placement mode, for synthesis). [None] means uncacheable: an Explore
+   with checkpoint/resume side effects, and a source or calib file that
+   cannot be read (keyless, falls through to the normal error path). A
+   {e pure} Explore — no checkpoint file, no resume — is cacheable like
+   any other request when [cache_explore] is set (the caller clears it
+   when an [on_progress] observer is attached, so streamed explores
+   always evaluate live and emit their frames). Only [Ok] responses are
+   inserted, so errors are re-derived (and re-rendered with current
+   file state) every time. *)
 
 let read_file_opt path =
   match
@@ -508,10 +573,28 @@ let source_key = function
   | File path ->
       Option.map (fun text -> [ "file"; path; text ]) (read_file_opt path)
 
-let request_key (req : request) : string option =
+let request_key ?(cache_explore = false) (req : request) : string option =
   let ( let* ) = Option.bind in
   match req with
-  | Explore _ -> None
+  | Explore x ->
+      if
+        (not cache_explore) || x.x_checkpoint <> None || x.x_resume <> None
+      then None
+      else
+        (* the surviving point set under pruning is jobs-dependent, so
+           the resolved width keys; ambient placement mode keys exactly
+           as for Synth *)
+        let jobs = if x.x_jobs = 0 then Pool.default_jobs () else x.x_jobs in
+        let place =
+          match x.x_place_mode with
+          | Some m -> m
+          | None -> Tytra_sim.Techmap.place_mode ()
+        in
+        Some
+          (Cache.digest_key
+             [ "explore";
+               Cache.digest_marshal { x with x_jobs = jobs };
+               Tytra_sim.Techmap.place_mode_to_string place ])
   | Check { source } ->
       let* src = source_key source in
       Some (Cache.digest_key ("check" :: src))
@@ -548,8 +631,17 @@ let request_key (req : request) : string option =
            (("sim" :: src)
            @ [ Cache.digest_marshal (device, form, nki, optimize) ]))
 
+let journal_insert t ~key rs =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Journal.append j ~key ~payload:(Marshal.to_string rs []);
+      Metrics.incr "engine.journal.appended"
+
 let dispatch_cached t ?on_progress req =
-  match request_key req with
+  (* an attached progress observer pins the request to live evaluation:
+     a cache hit would answer correctly but silently skip every frame *)
+  match request_key ~cache_explore:(on_progress = None) req with
   | None -> dispatch t ?on_progress req
   | Some key -> (
       match Cache.find t.response_cache ~key with
@@ -557,7 +649,9 @@ let dispatch_cached t ?on_progress req =
       | None ->
           let r = dispatch t ?on_progress req in
           (match r with
-          | Ok rs -> Cache.add t.response_cache ~key rs
+          | Ok rs ->
+              Cache.add t.response_cache ~key rs;
+              journal_insert t ~key rs
           | Error _ -> ());
           r)
 

@@ -100,18 +100,26 @@ type error =
   | Parse_error of string
   | Validation_error of string
   | Timeout_error of float
+      (** the cooperative deadline expired {e during} evaluation *)
+  | Deadline_exceeded of float
+      (** the deadline budget was exhausted {e before} evaluation
+          started (batch-window admission, queue expiry): the request
+          never ran, retrying with a larger budget is safe *)
+  | Request_too_large of int
+      (** the request body exceeded the wire cap (bytes) *)
   | Internal_error of string
   | Overloaded
 
 val exit_code : error -> int
-(** The CLI contract: 2 for bad input/parse, 3 for validation, 1 for
-    internal/timeout/overload. *)
+(** The CLI contract: 2 for bad input/parse/oversize, 3 for validation,
+    1 for internal/timeout/deadline/overload. *)
 
 val error_message : error -> string
 
 val error_kind : error -> string
 (** Stable machine-readable discriminator (the wire ["error"] field):
-    "bad_request", "parse", "validation", "timeout", "internal",
+    "bad_request", "parse", "validation", "timeout",
+    "deadline_exceeded", "request_too_large", "internal",
     "overloaded". *)
 
 (** {2 Lifecycle} *)
@@ -123,12 +131,20 @@ type config = {
       (** entries in the full-request response cache: completed [Ok]
           responses keyed on a digest of the op, every parameter, the
           content behind every path parameter and the resolved placement
-          mode (for synth). Explore requests and error responses are
-          never cached. *)
+          mode (for synth and explore). Error responses are never
+          cached; an [Explore] is cached only when pure (no checkpoint
+          or resume side effects) and unobserved (no progress
+          callback). *)
+  cache_journal : string option;
+      (** when set, every response-cache insertion is appended to this
+          digest-validated JSONL file ({!Journal}) and {!create} replays
+          the file into the fresh cache — the warm path survives a
+          crash. Telemetry: [engine.journal.replayed/appended/skipped]. *)
 }
 
 val default_config : config
-(** [jobs = 1], 64 parse-cache entries, 128 response-cache entries. *)
+(** [jobs = 1], 64 parse-cache entries, 128 response-cache entries, no
+    journal. *)
 
 type t
 (** A running engine: configuration, persistent pool and caches. *)

@@ -1,0 +1,45 @@
+(** Crash-safe response-cache journal: append-only, digest-validated
+    JSONL of (key, payload) string pairs.
+
+    Public interface of [Tytra_engine.Journal]. The engine journals
+    every response-cache insertion through one of these and replays the
+    file into a fresh cache at startup, so a crashed shard restarts
+    warm (DESIGN.md §16). Payloads are opaque bytes (hex-encoded on
+    disk); this module journals strings and knows nothing of
+    [Engine.response]. Loading is total: malformed, truncated or
+    digest-mismatched lines are skipped and counted, never raised. *)
+
+val magic : string
+(** ["TYTRA-JRNL"], carried by the header line. *)
+
+val version : int
+(** Format version stamped into the header and every entry. *)
+
+val load : string -> (string * string) list * int
+(** [load path] — validated [(key, payload)] entries in file order,
+    plus the count of corrupt lines skipped (torn tails from mid-write
+    crashes, digest mismatches, foreign files). A missing file is
+    [([], 0)]. *)
+
+type t
+(** An open journal: append handle + mutex (safe from any domain). *)
+
+val open_append : string -> t option
+(** [open_append path] — open for appending, creating (with a header
+    line) if new. [None] when the path cannot be opened; the caller
+    should serve without journaling rather than fail. *)
+
+val append : t -> key:string -> payload:string -> unit
+(** Append one digest-stamped entry and flush, so the entry survives a
+    crash immediately after. Write errors are counted, not raised. *)
+
+val close : t -> unit
+
+val path : t -> string
+
+val appended : t -> int
+(** Entries durably appended since {!open_append}. *)
+
+val write_errors : t -> int
+(** Entries lost to write errors (loss accounting, as for
+    [Events.write_errors]). *)

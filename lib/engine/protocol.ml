@@ -16,13 +16,21 @@
     request flag and the JSONL frame vocabulary for streamed explore
     progress — [{"frame":"progress",...}] lines followed by one final
     [{"frame":"result",...}] line that is a normal reply object plus
-    the discriminator. *)
+    the discriminator.
+
+    Minor version 2 (additive): the ["deadline_ms"] request budget
+    (preferred over the legacy ["deadline_s"] when both are present —
+    millisecond wire precision matches what serving deadlines actually
+    are) and the ["deadline_exceeded"]/["request_too_large"] error
+    kinds. Old clients never send the field and decode the new error
+    objects through the same ["error"]/["exit_code"]/["message"] shape
+    as every other kind. *)
 
 module J = Tytra_telemetry.Jsenc
 
 let version = 1
 
-let version_minor = 1
+let version_minor = 2
 
 (* ------------------------------------------------------------------ *)
 (* Field-level codecs                                                  *)
@@ -67,13 +75,16 @@ let opt f k = function None -> "" | Some v -> f k v
 (* Request encoding                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let encode_request ?deadline_s ?(retries = 0) ?(stream = false)
+let encode_request ?deadline_s ?deadline_ms ?(retries = 0) ?(stream = false)
     (req : Engine.request) : string =
   let envelope =
     [ int_field "v" version; str_field "op" (Engine.op_name req) ]
     @ (match deadline_s with
       | None -> []
       | Some d -> [ num_field "deadline_s" d ])
+    @ (match deadline_ms with
+      | None -> []
+      | Some d -> [ num_field "deadline_ms" d ])
     @ (if retries = 0 then [] else [ int_field "retries" retries ])
     @ if stream then [ bool_field "stream" true ] else []
   in
@@ -288,7 +299,16 @@ let decode_request (body : string) : (decoded_request, Engine.error) result =
               | None -> bad "missing field \"op\""
               | Some op ->
                   let* dq_request = decode_op j op in
-                  let* dq_deadline_s = float_opt_member "deadline_s" j in
+                  let* deadline_s = float_opt_member "deadline_s" j in
+                  let* deadline_ms = float_opt_member "deadline_ms" j in
+                  (* minor 2: deadline_ms wins over the legacy field
+                     when a client sends both; either decodes into the
+                     one engine-side budget *)
+                  let dq_deadline_s =
+                    match deadline_ms with
+                    | Some ms -> Some (ms /. 1000.0)
+                    | None -> deadline_s
+                  in
                   let* dq_retries = int_member ~default:0 "retries" j in
                   let* dq_stream = bool_member ~default:false "stream" j in
                   Ok { dq_request; dq_deadline_s; dq_retries; dq_stream }))
@@ -344,12 +364,13 @@ let encode_response ~op (resp : Engine.response) : string =
 let encode_error (err : Engine.error) : string = obj (error_fields err)
 
 (** HTTP status for an error reply: wire-level rejections are 400,
-    rejected designs 422, deadline expiry 504, shed load 429, engine
-    bugs 500. *)
+    oversized bodies 413, rejected designs 422, deadline expiry 504,
+    shed load 429, engine bugs 500. *)
 let http_status = function
   | Engine.Bad_request _ -> 400
+  | Engine.Request_too_large _ -> 413
   | Engine.Parse_error _ | Engine.Validation_error _ -> 422
-  | Engine.Timeout_error _ -> 504
+  | Engine.Timeout_error _ | Engine.Deadline_exceeded _ -> 504
   | Engine.Overloaded -> 429
   | Engine.Internal_error _ -> 500
 

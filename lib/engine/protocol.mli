@@ -10,21 +10,31 @@ val version : int
 
 val version_minor : int
 (** Additive revision within {!version}. Minor 1 added the ["stream"]
-    request flag and the progress/result frame vocabulary; decoders
+    request flag and the progress/result frame vocabulary; minor 2
+    added the ["deadline_ms"] request budget and the
+    ["deadline_exceeded"]/["request_too_large"] error kinds. Decoders
     never check it (additive changes are compatible by construction),
     clients read it from [GET /v1/protocol] for capability discovery. *)
 
 (** {2 Requests} *)
 
 val encode_request :
-  ?deadline_s:float -> ?retries:int -> ?stream:bool -> Engine.request -> string
+  ?deadline_s:float ->
+  ?deadline_ms:float ->
+  ?retries:int ->
+  ?stream:bool ->
+  Engine.request ->
+  string
 (** One JSON object for the request, including the envelope fields
-    ([deadline_s]/[retries] are the request-level budget passed to
-    [Engine.submit]; omitted when absent/zero). [stream] (default
-    false) asks the server to answer with JSONL progress frames —
-    meaningful for [explore] only. *)
+    ([deadline_s]/[deadline_ms]/[retries] are the request-level budget
+    passed to [Engine.submit]; omitted when absent/zero — when both
+    deadline spellings are given, decoders prefer [deadline_ms]).
+    [stream] (default false) asks the server to answer with JSONL
+    progress frames — meaningful for [explore] only. *)
 
-(** A decoded request: the typed operation plus its envelope. *)
+(** A decoded request: the typed operation plus its envelope.
+    [dq_deadline_s] is the unified budget — decoded from
+    ["deadline_ms"] (preferred, minor 2) or the legacy ["deadline_s"]. *)
 type decoded_request = {
   dq_request : Engine.request;
   dq_deadline_s : float option;
@@ -47,9 +57,10 @@ val encode_error : Engine.error -> string
 (** [{"v":1,"status":"error","error":…,"exit_code":…,"message":…}]. *)
 
 val http_status : Engine.error -> int
-(** HTTP status for an error reply: 400 bad request, 422 rejected
-    design (parse/validation), 429 shed load, 504 deadline, 500
-    internal. *)
+(** HTTP status for an error reply: 400 bad request, 413 oversized
+    body, 422 rejected design (parse/validation), 429 shed load, 504
+    deadline (expired mid-evaluation or exhausted before admission),
+    500 internal. *)
 
 (** What a client gets back from one exchange. *)
 type reply =

@@ -15,8 +15,15 @@
     - {b Supervision.} Children are started with fork+exec of our own
       executable ([create_process], never a bare [fork]: the parent
       runs domains, and a forked child would inherit their mutexes
-      mid-flight). A crashed shard is reaped and restarted
-      ([shards.restarts]); SIGTERM/SIGINT forwards to every shard,
+      mid-flight). A crashed shard is reaped, postmortemed (crash
+      record + last metrics snapshot + flight recorder, as JSONL in the
+      run directory) and restarted under an exponential-backoff restart
+      budget ([shards.restarts], [shards.crashes]); a shard that is
+      alive but stops answering health probes is SIGKILLed and treated
+      as a crash ([shards.hung_kills]); when {e every} shard is down a
+      circuit breaker takes over the work address and answers typed
+      [overloaded] instead of letting connections hang in the backlog
+      ([shards.breaker_trips]). SIGTERM/SIGINT forwards to every shard,
       which drains gracefully, then the parent reaps them all.
     - {b Aggregation.} Each shard serves its private metrics on a unix
       socket ([--shard-admin]); the parent's admin server scrapes them
@@ -225,16 +232,45 @@ let relabel ~shard text =
 (* Supervisor                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-shard health state machine (DESIGN.md §16):
+
+     Up --crash--> Backoff --timer--> Up
+     Up --3 failed probes--> SIGKILL --reap--> Backoff
+     Backoff --restart budget exhausted--> Dead
+
+   A successful health probe after [stability_s] of uptime resets the
+   consecutive-restart counter, so the budget only ever trips on a
+   genuine crash loop, not on occasional faults spread over hours. *)
+type state = Up | Backoff | Dead
+
 type shard = {
   sh_index : int;
   sh_admin : string;  (* "unix:PATH" scrape endpoint *)
   mutable sh_pid : int;
+  mutable sh_state : state;
+  mutable sh_spawned : float;  (* wall time of the last spawn *)
+  mutable sh_fails : int;  (* consecutive failed health probes *)
+  mutable sh_restarts : int;  (* consecutive restarts without stability *)
+  mutable sh_backoff_until : float;
+  mutable sh_last_metrics : string option;  (* last good /metrics.json *)
 }
 
 type t = {
   t_shards : shard array;
-  t_dir : string;  (* per-run admin-socket directory *)
+  t_dir : string;  (* per-run admin-socket (and postmortem) directory *)
 }
+
+let probe_interval_s = 1.0  (* health-probe cadence per shard *)
+let probe_grace_s = 1.0  (* no probes until a fresh shard has bound *)
+let probe_strikes = 3  (* consecutive failures before SIGKILL *)
+let backoff_cap_s = 30.0
+let stability_s = 5.0  (* uptime that forgives past restarts *)
+
+let state_name = function Up -> "up" | Backoff -> "backoff" | Dead -> "dead"
+
+(* 0.5, 1, 2, 4, ... seconds, capped — a crash-looping shard must not
+   be respawned as fast as it can die. *)
+let backoff_delay n = Float.min backoff_cap_s (0.5 *. (2.0 ** float (n - 1)))
 
 let shard_sources t =
   Array.to_list t.t_shards
@@ -268,28 +304,38 @@ let aggregate_metrics t =
   add_exposition ~shard:"parent" (Expose.render ());
   Buffer.contents buf
 
+(* [pid] and [state] ride along so external tooling (the chaos harness)
+   can target a specific shard process without guessing. *)
 let aggregate_metrics_json t =
   let shard_objs =
-    List.map
-      (fun (shard, admin) ->
-        match http_get ~addr:admin "/metrics.json" with
-        | Ok (200, body) ->
-            Printf.sprintf {|{"shard":%s,"up":true,"metrics":%s}|} shard
-              (String.trim body)
-        | Ok _ | Error _ ->
-            Printf.sprintf {|{"shard":%s,"up":false}|} shard)
-      (shard_sources t)
+    Array.to_list t.t_shards
+    |> List.map (fun s ->
+           let prefix =
+             Printf.sprintf {|"shard":%d,"pid":%d,"state":%S,"restarts":%d|}
+               s.sh_index s.sh_pid (state_name s.sh_state) s.sh_restarts
+           in
+           match
+             if s.sh_state = Up then http_get ~addr:s.sh_admin "/metrics.json"
+             else Error "not up"
+           with
+           | Ok (200, body) ->
+               Printf.sprintf {|{%s,"up":true,"metrics":%s}|} prefix
+                 (String.trim body)
+           | Ok _ | Error _ ->
+               Printf.sprintf {|{%s,"up":false}|} prefix)
   in
   Printf.sprintf {|{"shards":[%s]}|} (String.concat "," shard_objs)
 
 let health t =
   let down =
-    List.filter_map
-      (fun (shard, admin) ->
-        match http_get ~addr:admin "/healthz" with
-        | Ok (200, _) -> None
-        | Ok _ | Error _ -> Some shard)
-      (shard_sources t)
+    Array.to_list t.t_shards
+    |> List.filter_map (fun s ->
+           let id = string_of_int s.sh_index in
+           if s.sh_state <> Up then Some id
+           else
+             match http_get ~addr:s.sh_admin "/healthz" with
+             | Ok (200, _) -> None
+             | Ok _ | Error _ -> Some id)
   in
   match down with
   | [] -> (200, "ok\n")
@@ -319,7 +365,60 @@ let aggregator_handler t (rq : Serve.request) : Serve.response option =
           rs_body = body }
   | _ -> None
 
-let run ~shards:n ~addr ~admin_addr
+(* ------------------------------------------------------------------ *)
+(* Crash postmortems and the circuit breaker                           *)
+(* ------------------------------------------------------------------ *)
+
+let describe_status = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+(* One JSONL file per crash in the run directory: the crash record, the
+   shard's last good /metrics.json scrape (its state died with it — this
+   snapshot is all that survives), and the supervisor's flight recorder
+   if one is armed. The run directory is deliberately left behind when
+   postmortems exist, so the evidence outlives the run. *)
+let postmortem t s ~pid ~status =
+  let path =
+    Filename.concat t.t_dir
+      (Printf.sprintf "postmortem-shard-%d-pid-%d.jsonl" s.sh_index pid)
+  in
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc
+          {|{"type":"shard_crash","shard":%d,"pid":%d,"restarts":%d,"status":%S,"uptime_s":%.3f}|}
+          s.sh_index pid s.sh_restarts (describe_status status)
+          (Unix.gettimeofday () -. s.sh_spawned);
+        output_char oc '\n';
+        (match s.sh_last_metrics with
+        | Some m ->
+            Printf.fprintf oc {|{"type":"last_metrics","shard":%d,"metrics":%s}|}
+              s.sh_index (String.trim m);
+            output_char oc '\n'
+        | None -> ());
+        if Tytra_dse.Flightrec.is_enabled () then
+          output_string oc (Tytra_dse.Flightrec.to_jsonl ()));
+    Some path
+  with Sys_error _ -> None
+
+(* When every shard is down the kernel would let connections queue in
+   the listen backlog until they time out — the worst failure mode, an
+   untyped hang. The breaker takes over the work address and answers
+   everything with a typed [overloaded] immediately, so clients fail
+   fast and can back off. *)
+let breaker_handler (_ : Serve.request) : Serve.response option =
+  Some
+    {
+      Serve.rs_status = 429;
+      rs_content_type = "application/json";
+      rs_body = Protocol.encode_error Engine.Overloaded ^ "\n";
+    }
+
+let run ?(restart_budget = 8) ~shards:n ~addr ~admin_addr
     ~(child_argv : shard:int -> admin_addr:string -> string array) () =
   if n < 1 then invalid_arg "Shards.run: shards must be >= 1";
   Tytra_telemetry.Control.set_enabled true;
@@ -357,6 +456,7 @@ let run ~shards:n ~addr ~admin_addr
     Unix.create_process_env argv.(0) argv child_env Unix.stdin Unix.stdout
       Unix.stderr
   in
+  let now0 = Unix.gettimeofday () in
   let t =
     {
       t_dir = dir;
@@ -365,7 +465,17 @@ let run ~shards:n ~addr ~admin_addr
             let admin =
               "unix:" ^ Filename.concat dir (Printf.sprintf "shard-%d.sock" i)
             in
-            { sh_index = i; sh_admin = admin; sh_pid = spawn i admin });
+            {
+              sh_index = i;
+              sh_admin = admin;
+              sh_pid = spawn i admin;
+              sh_state = Up;
+              sh_spawned = now0;
+              sh_fails = 0;
+              sh_restarts = 0;
+              sh_backoff_until = 0.0;
+              sh_last_metrics = None;
+            });
     }
   in
   let stopping = Atomic.make false in
@@ -378,34 +488,149 @@ let run ~shards:n ~addr ~admin_addr
     bound_addr
     (if inherited = None then "SO_REUSEPORT" else "inherited fd")
     (Unix.getpid ()) (Serve.bound_addr agg);
-  (* supervision: reap and restart until told to stop *)
+  (* --- circuit breaker ------------------------------------------- *)
+  let breaker : Serve.server option ref = ref None in
+  let trip_breaker () =
+    if !breaker = None && not (Atomic.get stopping) then begin
+      Metrics.incr "shards.breaker_trips";
+      Printf.eprintf
+        "tybec: all shards down, circuit breaker shedding load on %s\n%!"
+        bound_addr;
+      breaker :=
+        (try
+           Some
+             (match inherited with
+             | Some fd ->
+                 (* dup: Serve.stop closes its fd, and the original must
+                    survive for the shards still inheriting it *)
+                 Serve.start ~handler:breaker_handler
+                   ~error_responder:Daemon.wire_error ~workers:2
+                   ~queue_cap:16 ~listen_fd:(Unix.dup fd) ~addr:bound_addr ()
+             | None ->
+                 Serve.start ~handler:breaker_handler
+                   ~error_responder:Daemon.wire_error ~workers:2
+                   ~queue_cap:16 ~reuseport:true ~addr:bound_addr ())
+         with Failure _ | Unix.Unix_error _ -> None)
+    end
+  in
+  let reset_breaker reason =
+    match !breaker with
+    | None -> ()
+    | Some sv ->
+        Printf.eprintf "tybec: circuit breaker reset (%s)\n%!" reason;
+        breaker := None;
+        Serve.stop sv
+  in
+  (* --- supervision ------------------------------------------------ *)
+  let handle_crash s ~pid ~status =
+    s.sh_restarts <- s.sh_restarts + 1;
+    Metrics.incr "shards.crashes";
+    Tytra_telemetry.Events.emit
+      (Tytra_telemetry.Events.Shard_crash
+         { shard = s.sh_index; pid; restarts = s.sh_restarts });
+    let dumped = postmortem t s ~pid ~status in
+    if s.sh_restarts > restart_budget then begin
+      s.sh_state <- Dead;
+      Printf.eprintf
+        "tybec: shard %d (pid %d) died (%s); restart budget (%d) exhausted, \
+         shard marked dead%s\n%!"
+        s.sh_index pid (describe_status status) restart_budget
+        (match dumped with
+        | Some p -> ", postmortem " ^ p
+        | None -> "")
+    end
+    else begin
+      let delay = backoff_delay s.sh_restarts in
+      s.sh_state <- Backoff;
+      s.sh_backoff_until <- Unix.gettimeofday () +. delay;
+      Printf.eprintf
+        "tybec: shard %d (pid %d) died (%s), restart %d/%d in %.1fs%s\n%!"
+        s.sh_index pid (describe_status status) s.sh_restarts restart_budget
+        delay
+        (match dumped with
+        | Some p -> ", postmortem " ^ p
+        | None -> "")
+    end
+  in
+  let last_probe = ref 0.0 in
   while not (Atomic.get stopping) do
     (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* 1. reap crashed shards *)
     let rec reap () =
       match Unix.waitpid [ Unix.WNOHANG ] (-1) with
       | 0, _ -> ()
-      | pid, _status ->
+      | pid, status ->
           if not (Atomic.get stopping) then
             Array.iter
               (fun s ->
-                if s.sh_pid = pid then begin
-                  Metrics.incr "shards.restarts";
-                  Printf.eprintf "tybec: shard %d (pid %d) died, restarting\n%!"
-                    s.sh_index pid;
-                  s.sh_pid <- spawn s.sh_index s.sh_admin
-                end)
+                if s.sh_pid = pid && s.sh_state = Up then
+                  handle_crash s ~pid ~status)
               t.t_shards;
           reap ()
       | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
     in
-    reap ()
+    reap ();
+    (* 2. respawn shards whose backoff has elapsed *)
+    let now = Unix.gettimeofday () in
+    if not (Atomic.get stopping) then
+      Array.iter
+        (fun s ->
+          if s.sh_state = Backoff && now >= s.sh_backoff_until then begin
+            Metrics.incr "shards.restarts";
+            Printf.eprintf "tybec: shard %d restarting (attempt %d)\n%!"
+              s.sh_index s.sh_restarts;
+            s.sh_pid <- spawn s.sh_index s.sh_admin;
+            s.sh_state <- Up;
+            s.sh_spawned <- now;
+            s.sh_fails <- 0
+          end)
+        t.t_shards;
+    (* 3. health probes: catch shards that are alive but hung *)
+    if now -. !last_probe >= probe_interval_s then begin
+      last_probe := now;
+      Array.iter
+        (fun s ->
+          if s.sh_state = Up && now -. s.sh_spawned >= probe_grace_s then
+            match http_get ~timeout_s:1.0 ~addr:s.sh_admin "/healthz" with
+            | Ok (200, _) ->
+                s.sh_fails <- 0;
+                if
+                  s.sh_restarts > 0 && now -. s.sh_spawned >= stability_s
+                then
+                  s.sh_restarts <- 0;
+                (match http_get ~timeout_s:1.0 ~addr:s.sh_admin
+                         "/metrics.json"
+                 with
+                | Ok (200, body) -> s.sh_last_metrics <- Some body
+                | Ok _ | Error _ -> ());
+                reset_breaker
+                  (Printf.sprintf "shard %d healthy" s.sh_index)
+            | Ok _ | Error _ ->
+                s.sh_fails <- s.sh_fails + 1;
+                if s.sh_fails >= probe_strikes then begin
+                  Printf.eprintf
+                    "tybec: shard %d (pid %d) hung (%d failed probes), \
+                     killing\n%!"
+                    s.sh_index s.sh_pid s.sh_fails;
+                  Metrics.incr "shards.hung_kills";
+                  try Unix.kill s.sh_pid Sys.sigkill
+                  with Unix.Unix_error _ -> ()
+                end)
+        t.t_shards
+    end;
+    (* 4. trip the breaker when nothing is left to serve *)
+    if Array.for_all (fun s -> s.sh_state <> Up) t.t_shards then
+      trip_breaker ()
   done;
   (* graceful drain: forward the signal, wait for every shard to finish
      answering its in-flight requests, then take the front down *)
   prerr_endline "tybec: shards: draining";
+  reset_breaker "shutdown";
   Array.iter
-    (fun s -> try Unix.kill s.sh_pid Sys.sigterm with Unix.Unix_error _ -> ())
+    (fun s ->
+      if s.sh_state = Up then
+        try Unix.kill s.sh_pid Sys.sigterm with Unix.Unix_error _ -> ())
     t.t_shards;
   Array.iter
     (fun s ->
@@ -415,7 +640,7 @@ let run ~shards:n ~addr ~admin_addr
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
         | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
       in
-      wait ())
+      if s.sh_state = Up then wait ())
     t.t_shards;
   Serve.stop agg;
   (match inherited with

@@ -3,11 +3,15 @@
 
     Public interface of [Tytra_engine.Shards]. Each shard is a full
     {!Daemon} process (own engine, pool, caches, batcher); the parent
-    binds or brokers the shared listen socket, restarts crashed shards,
+    binds or brokers the shared listen socket, supervises the children
+    (health probes, postmortem dumps, exponential-backoff restarts
+    under a budget, SIGKILL of hung shards, a circuit breaker shedding
+    typed [overloaded] when every shard is down — DESIGN.md §16),
     forwards SIGTERM for a graceful drain, and serves aggregated
-    [/metrics] (per-shard [shard="i"] labels), [/metrics.json] and
-    [/healthz] on the admin address. See [shards.ml] for the socket
-    strategy (SO_REUSEPORT vs inherited fd) and supervision loop. *)
+    [/metrics] (per-shard [shard="i"] labels), [/metrics.json] (with
+    per-shard [pid]/[state]/[restarts]) and [/healthz] on the admin
+    address. See [shards.ml] for the socket strategy (SO_REUSEPORT vs
+    inherited fd) and the supervision state machine. *)
 
 (** How a shard child should obtain its listen socket, decoded from the
     environment the supervisor set ([TYTRA_SHARD_FD] /
@@ -31,17 +35,31 @@ val http_get :
     aggregator's scrape client; exposed for tests. *)
 
 val run :
+  ?restart_budget:int ->
   shards:int ->
   addr:string ->
   admin_addr:string ->
   child_argv:(shard:int -> admin_addr:string -> string array) ->
   unit ->
   unit
-(** [run ~shards ~addr ~admin_addr ~child_argv ()] — supervise [shards]
-    child processes serving [addr] and block until SIGTERM/SIGINT.
-    [child_argv ~shard ~admin_addr] must produce the full exec argv for
-    one shard (our own executable with [serve --shard-child i
-    --shard-admin <admin_addr>] plus the user's flags); the supervisor
-    adds the socket-mode environment. On signal: forward SIGTERM to
-    every shard, wait for each to drain, stop the aggregator, clean up
-    the admin sockets. *)
+(** [run ?restart_budget ~shards ~addr ~admin_addr ~child_argv ()] —
+    supervise [shards] child processes serving [addr] and block until
+    SIGTERM/SIGINT. [child_argv ~shard ~admin_addr] must produce the
+    full exec argv for one shard (our own executable with
+    [serve --shard-child i --shard-admin <admin_addr>] plus the user's
+    flags); the supervisor adds the socket-mode environment.
+
+    Supervision (DESIGN.md §16): a crashed shard is postmortemed (crash
+    JSONL + last metrics snapshot + flight recorder into the run
+    directory, plus a typed [shard_crash] event) and restarted after an
+    exponential backoff (0.5 s doubling, 30 s cap); [restart_budget]
+    (default 8) consecutive restarts without 5 s of proven stability
+    marks the shard dead. A shard whose [/healthz] stops answering for
+    3 consecutive probes is SIGKILLed and treated as a crash. When no
+    shard is up, a circuit breaker serves the work address itself,
+    answering every request with typed [overloaded] (HTTP 429) until a
+    shard passes a health probe again.
+
+    On signal: forward SIGTERM to every shard, wait for each to drain,
+    stop the aggregator, clean up the admin sockets (postmortem files,
+    if any, are left behind). *)

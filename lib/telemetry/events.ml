@@ -47,6 +47,9 @@ type event =
   | Span_open of { name : string; depth : int }
   | Span_close of { name : string; dur_ns : int64; error : string option }
   | Counter_delta of { name : string; delta : float }
+  | Shard_crash of { shard : int; pid : int; restarts : int }
+      (** a serve shard died unexpectedly; [restarts] counts its
+          consecutive restarts so far (additive in schema v1) *)
 
 type record = {
   r_seq : int;      (** global emission order *)
@@ -174,6 +177,11 @@ let add_body b (e : event) : unit =
       add_kv_str b ",\"name\":" name;
       Buffer.add_string b ",\"delta\":";
       Buffer.add_string b (Jsenc.json_num delta)
+  | Shard_crash { shard; pid; restarts } ->
+      Buffer.add_string b "\"type\":\"shard_crash\"";
+      add_kv_int b ",\"shard\":" shard;
+      add_kv_int b ",\"pid\":" pid;
+      add_kv_int b ",\"restarts\":" restarts
 
 let add_record b (r : record) : unit =
   Buffer.add_string b "{\"v\":";
@@ -197,7 +205,7 @@ let encode (r : record) : string =
    [close] flushes everything. *)
 let flush_worthy = function
   | Sweep_started _ | Sweep_finished _ | Point_failed _
-  | Checkpoint_written _ ->
+  | Checkpoint_written _ | Shard_crash _ ->
       true
   | Point_evaluated _ | Point_pruned _ | Span_open _ | Span_close _
   | Counter_delta _ ->
@@ -307,6 +315,11 @@ let decode_event j : (event, string) result =
       let* name = req_str j "name" in
       let* delta = req_num j "delta" in
       Ok (Counter_delta { name; delta })
+  | "shard_crash" ->
+      let* shard = req_int j "shard" in
+      let* pid = req_int j "pid" in
+      let* restarts = req_int j "restarts" in
+      Ok (Shard_crash { shard; pid; restarts })
   | other -> decode_error "unknown event type %S" other
 
 (** Parse one JSONL line back into a {!record}. Inverse of {!encode} for

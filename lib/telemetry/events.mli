@@ -37,6 +37,9 @@ type event =
   | Span_open of { name : string; depth : int }
   | Span_close of { name : string; dur_ns : int64; error : string option }
   | Counter_delta of { name : string; delta : float }
+  | Shard_crash of { shard : int; pid : int; restarts : int }
+      (** a serve shard died unexpectedly; [restarts] counts its
+          consecutive restarts so far (additive in schema v1) *)
 
 (** One emitted line: a gapless global sequence number, the {!Clock}
     timestamp and the emitting domain, around the event itself. *)

@@ -64,6 +64,12 @@ type stream = {
 type streamer = request -> stream option
 (** Consulted before the plain {!handler}; [None] falls through. *)
 
+type error_responder = int -> response option
+(** Renders wire-level failures (400 malformed, 408 read timeout, 413
+    oversized body, 429 shed load) into a custom response body —
+    [tybec serve] answers them as typed protocol JSON. [None] falls
+    back to the built-in plain-text rendering. *)
+
 type server = {
   sv_fd : Unix.file_descr;
   sv_addr : string;         (* bound address, e.g. "127.0.0.1:9464" *)
@@ -239,7 +245,14 @@ let write_all fd s =
   in
   try go 0 with Unix.Unix_error _ -> ()
 
-let handle_client ?(streamer : streamer = fun _ -> None) handler fd requests =
+let error_response (error_responder : error_responder) status =
+  match error_responder status with
+  | Some r -> r
+  | None -> text status (reason_of_status status ^ "\n")
+  | exception _ -> text status (reason_of_status status ^ "\n")
+
+let handle_client ?(streamer : streamer = fun _ -> None)
+    ?(error_responder : error_responder = fun _ -> None) handler fd requests =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -249,7 +262,7 @@ let handle_client ?(streamer : streamer = fun _ -> None) handler fd requests =
       in
       match read_request fd with
       | Error status ->
-          write_all fd (http_response (text status (reason_of_status status ^ "\n")));
+          write_all fd (http_response (error_response error_responder status));
           count ()
       | Ok rq -> (
           match streamer rq with
@@ -292,8 +305,8 @@ let handle_client ?(streamer : streamer = fun _ -> None) handler fd requests =
 (* workers = 0: serve inline on the accept domain (the metrics-scrape
    configuration). workers > 0: enqueue for the worker domains, shedding
    load with a 429 when the bounded queue is full. *)
-let accept_loop fd stop handler ~streamer ~inline ~queue ~queue_cap ~mutex
-    ~cond ~requests ~rejected =
+let accept_loop fd stop handler ~streamer ~error_responder ~inline ~queue
+    ~queue_cap ~mutex ~cond ~requests ~rejected =
   let rec go () =
     if not (Atomic.get stop) then begin
       (match Unix.select [ fd ] [] [] 0.2 with
@@ -302,7 +315,9 @@ let accept_loop fd stop handler ~streamer ~inline ~queue ~queue_cap ~mutex
           match Unix.accept ~cloexec:true fd with
           | client, _ ->
               if inline then (
-                try handle_client ~streamer handler client requests
+                try
+                  handle_client ~streamer ~error_responder handler client
+                    requests
                 with _ -> (
                   try Unix.close client with Unix.Unix_error _ -> ()))
               else begin
@@ -315,8 +330,7 @@ let accept_loop fd stop handler ~streamer ~inline ~queue ~queue_cap ~mutex
                   Metrics.incr "serve.rejected";
                   (try
                      write_all client
-                       (http_response
-                          (text 429 "engine overloaded, retry later\n"))
+                       (http_response (error_response error_responder 429))
                    with _ -> ());
                   try Unix.close client with Unix.Unix_error _ -> ()
                 end
@@ -332,7 +346,8 @@ let accept_loop fd stop handler ~streamer ~inline ~queue ~queue_cap ~mutex
 (* Workers block on the condition until work or shutdown; on shutdown
    they drain whatever the accept loop already admitted (the graceful-
    drain contract: every accepted connection is answered). *)
-let worker_loop handler ~streamer ~stop ~queue ~mutex ~cond ~requests =
+let worker_loop handler ~streamer ~error_responder ~stop ~queue ~mutex ~cond
+    ~requests =
   let rec go () =
     Mutex.lock mutex;
     let rec await () =
@@ -349,7 +364,7 @@ let worker_loop handler ~streamer ~stop ~queue ~mutex ~cond ~requests =
     match job with
     | None -> ()
     | Some client ->
-        (try handle_client ~streamer handler client requests
+        (try handle_client ~streamer ~error_responder handler client requests
          with _ -> (try Unix.close client with Unix.Unix_error _ -> ()));
         go ()
   in
@@ -369,8 +384,9 @@ let parse_tcp_addr addr =
   | None -> ("127.0.0.1", int_of_string addr)
 
 let start ?(handler : handler = fun _ -> None)
-    ?(streamer : streamer = fun _ -> None) ?(workers = 0) ?(queue_cap = 64)
-    ?(reuseport = false) ?listen_fd ~addr () : server =
+    ?(streamer : streamer = fun _ -> None)
+    ?(error_responder : error_responder = fun _ -> None) ?(workers = 0)
+    ?(queue_cap = 64) ?(reuseport = false) ?listen_fd ~addr () : server =
   let fd, bound, unix_path =
     match listen_fd with
     | Some fd ->
@@ -454,13 +470,14 @@ let start ?(handler : handler = fun _ -> None)
   let inline = workers <= 0 in
   let accept =
     Domain.spawn (fun () ->
-        accept_loop fd stop handler ~streamer ~inline ~queue ~queue_cap ~mutex
-          ~cond ~requests ~rejected)
+        accept_loop fd stop handler ~streamer ~error_responder ~inline ~queue
+          ~queue_cap ~mutex ~cond ~requests ~rejected)
   in
   let worker_domains =
     List.init (max 0 workers) (fun _ ->
         Domain.spawn (fun () ->
-            worker_loop handler ~streamer ~stop ~queue ~mutex ~cond ~requests))
+            worker_loop handler ~streamer ~error_responder ~stop ~queue ~mutex
+              ~cond ~requests))
   in
   {
     sv_fd = fd;

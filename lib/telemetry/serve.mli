@@ -43,6 +43,19 @@ type streamer = request -> stream option
     exception raised before the head is written is answered as a 500;
     after the head, an error line is appended and the stream closed. *)
 
+type error_responder = int -> response option
+(** Renders wire-level failures into a custom response body. Consulted
+    with the HTTP status the server chose — 400 (malformed request),
+    408 (read timeout, e.g. a slow-loris client), 413 (body over
+    {!max_body_bytes}), 429 (queue full) — before the built-in
+    plain-text rendering; [None] (and any exception) falls back to it.
+    [tybec serve] uses this to answer wire-level failures as typed
+    protocol JSON. *)
+
+val max_body_bytes : int
+(** Hard cap on request-body size (8 MiB); a larger Content-Length is
+    answered with status 413 without reading the body. *)
+
 type server
 (** A running server: listening socket, accept domain and (optionally)
     worker domains. Opaque — lifecycle goes through {!start}/{!stop}. *)
@@ -50,6 +63,7 @@ type server
 val start :
   ?handler:handler ->
   ?streamer:streamer ->
+  ?error_responder:error_responder ->
   ?workers:int ->
   ?queue_cap:int ->
   ?reuseport:bool ->
@@ -57,8 +71,9 @@ val start :
   addr:string ->
   unit ->
   server
-(** [start ?handler ?streamer ?workers ?queue_cap ?reuseport ?listen_fd
-    ~addr ()] — bind, listen and serve on background domains. [addr] is
+(** [start ?handler ?streamer ?error_responder ?workers ?queue_cap
+    ?reuseport ?listen_fd ~addr ()] — bind, listen and serve on
+    background domains. [addr] is
     [HOST:PORT], [:PORT], [PORT] (TCP; port 0 = ephemeral) or
     [unix:PATH]. Raises [Failure] on an unusable address.
 

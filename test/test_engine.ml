@@ -1031,6 +1031,316 @@ let test_parse_batch_spec () =
   check "-1" None;
   check "2:0" None
 
+(* ------------------------------------------------------------------ *)
+(* Deadline propagation (protocol minor 2)                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_ms_codec () =
+  (* deadline_ms decodes to a unified budget in seconds *)
+  (match
+     Protocol.decode_request
+       {|{"v":1,"op":"check","source":{"inline":"x"},"deadline_ms":1500}|}
+   with
+  | Ok d ->
+      Alcotest.(check (option (float 1e-9)))
+        "deadline_ms 1500 = 1.5s" (Some 1.5) d.Protocol.dq_deadline_s
+  | Error e -> Alcotest.failf "decode failed: %s" (Engine.error_message e));
+  (* deadline_ms wins over the legacy deadline_s when both are present *)
+  (match
+     Protocol.decode_request
+       {|{"v":1,"op":"check","source":{"inline":"x"},"deadline_s":9,"deadline_ms":250}|}
+   with
+  | Ok d ->
+      Alcotest.(check (option (float 1e-9)))
+        "deadline_ms beats deadline_s" (Some 0.25) d.Protocol.dq_deadline_s
+  | Error e -> Alcotest.failf "decode failed: %s" (Engine.error_message e));
+  (* the encoder round-trips the new field *)
+  let req = Engine.Check { source = Engine.Inline "x" } in
+  (match Protocol.decode_request (Protocol.encode_request ~deadline_ms:320.0 req) with
+  | Ok d ->
+      Alcotest.(check (option (float 1e-9)))
+        "encode ~deadline_ms round-trips" (Some 0.32) d.Protocol.dq_deadline_s
+  | Error e -> Alcotest.failf "decode failed: %s" (Engine.error_message e));
+  (* malformed budgets are typed errors, not crashes or silent drops *)
+  expect_bad_request "string deadline_ms"
+    {|{"v":1,"op":"check","source":{"inline":"x"},"deadline_ms":"soon"}|};
+  (* minor-version backward compatibility: a frame with no deadline
+     fields at all (an old minor-0 client) still decodes *)
+  match
+    Protocol.decode_request {|{"v":1,"op":"check","source":{"inline":"x"}}|}
+  with
+  | Ok d ->
+      Alcotest.(check (option (float 0.)))
+        "old client: no budget" None d.Protocol.dq_deadline_s;
+      Alcotest.(check bool) "minor version advertises deadlines" true
+        (Protocol.version_minor >= 2)
+  | Error e -> Alcotest.failf "decode failed: %s" (Engine.error_message e)
+
+(* Fuzz posture for the new fields: any combination of budget fields
+   (valid numbers, junk, absent) must decode totally, and when both
+   valid budgets are present the unified rule (ms preferred) holds. *)
+let deadline_fuzz_qcheck =
+  QCheck.Test.make ~count:300 ~name:"deadline fields decode totally"
+    QCheck.(pair (option (float_bound_exclusive 1e6)) (option (float_bound_exclusive 1e6)))
+    (fun (s, ms) ->
+      let field name = function
+        | None -> ""
+        | Some v -> Printf.sprintf {|,"%s":%.6f|} name v
+      in
+      let body =
+        Printf.sprintf
+          {|{"v":1,"op":"check","source":{"inline":"x"}%s%s}|}
+          (field "deadline_s" s) (field "deadline_ms" ms)
+      in
+      match Protocol.decode_request body with
+      | Error _ -> false
+      | Ok d -> (
+          let expect =
+            match (ms, s) with
+            | Some m, _ -> Some (m /. 1000.0)
+            | None, other -> other
+          in
+          match (d.Protocol.dq_deadline_s, expect) with
+          | None, None -> true
+          | Some a, Some b -> Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 b
+          | _ -> false))
+
+let test_new_error_kinds () =
+  let cases =
+    [
+      (Engine.Deadline_exceeded 0.25, "deadline_exceeded", 1, 504);
+      (Engine.Request_too_large 8_388_608, "request_too_large", 2, 413);
+    ]
+  in
+  List.iter
+    (fun (err, kind, exit_code, status) ->
+      Alcotest.(check string) "kind" kind (Engine.error_kind err);
+      Alcotest.(check int) "exit code" exit_code (Engine.exit_code err);
+      Alcotest.(check int) "http status" status (Protocol.http_status err);
+      match Protocol.decode_reply (Protocol.encode_error err) with
+      | Ok (Protocol.Reply_error { re_kind; re_exit_code; _ }) ->
+          Alcotest.(check string) "wire kind" kind re_kind;
+          Alcotest.(check int) "wire exit code" exit_code re_exit_code
+      | Ok _ -> Alcotest.fail "expected an error reply"
+      | Error m -> Alcotest.failf "decode_reply failed: %s" m)
+    cases
+
+(* Admission: a budget no larger than the batch window can never be
+   answered in time and is refused up front, typed. *)
+let test_batcher_deadline_admission () =
+  with_metrics @@ fun () ->
+  let eng = Engine.create Engine.default_config in
+  let b = Batcher.create ~window_ms:50.0 ~max_size:4 eng in
+  Fun.protect
+    ~finally:(fun () -> Batcher.stop b)
+    (fun () ->
+      let rejected0 = counter "engine.batch.deadline_rejected" in
+      (match Batcher.submit ~deadline_s:0.01 b (cost_inline sor_inline) with
+      | Error (Engine.Deadline_exceeded budget) ->
+          Alcotest.(check (float 1e-9)) "typed budget" 0.01 budget
+      | Error e ->
+          Alcotest.failf "expected Deadline_exceeded, got %s"
+            (Engine.error_kind e)
+      | Ok _ -> Alcotest.fail "under-budget request was admitted");
+      Alcotest.(check (float 0.)) "rejection counted" 1.0
+        (counter "engine.batch.deadline_rejected" -. rejected0);
+      (* an ample budget sails through the same batcher *)
+      match Batcher.submit ~deadline_s:30.0 b (cost_inline sor_inline) with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "ample budget refused: %s" (Engine.error_message e))
+
+(* Queued expiry, deterministically: the dispatcher is pinned inside a
+   [submit_batch] evaluation that blocks opening a FIFO nobody writes
+   to; a request parked behind it expires while waiting and must be
+   answered with a typed [Deadline_exceeded] instead of being
+   evaluated late. *)
+let test_batcher_deadline_expiry () =
+  with_metrics @@ fun () ->
+  let fifo =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tytra-test-fifo-%d" (Unix.getpid ()))
+  in
+  (try Unix.unlink fifo with Unix.Unix_error _ -> ());
+  Unix.mkfifo fifo 0o600;
+  Fun.protect
+    ~finally:(fun () -> try Unix.unlink fifo with Unix.Unix_error _ -> ())
+    (fun () ->
+      let eng = Engine.create Engine.default_config in
+      let b = Batcher.create ~window_ms:0.0 ~max_size:1 eng in
+      let expired0 = counter "engine.batch.deadline_expired" in
+      (* the blocker: Check on the FIFO stalls its dispatch until we
+         feed the pipe *)
+      let blocker =
+        Domain.spawn (fun () ->
+            Batcher.submit b (Engine.Check { source = Engine.File fifo }))
+      in
+      (* wait until the dispatcher is actually stuck in the open() *)
+      Unix.sleepf 0.2;
+      let victim =
+        Domain.spawn (fun () ->
+            Batcher.submit ~deadline_s:0.05 b (cost_inline sor_inline))
+      in
+      (* let the victim's budget run out while it is parked *)
+      Unix.sleepf 0.3;
+      (* unblock the dispatcher: hold the FIFO open read+write for the
+         rest of the test so every engine open of it succeeds at once
+         (the engine may open the source more than once — digest and
+         parse) and each read sees an empty source, answered typed *)
+      let wfd = Unix.openfile fifo [ Unix.O_RDWR ] 0 in
+      let victim_result = Domain.join victim in
+      let blocker_result = Domain.join blocker in
+      Batcher.stop b;
+      Unix.close wfd;
+      (match victim_result with
+      | Error (Engine.Deadline_exceeded budget) ->
+          Alcotest.(check (float 1e-9)) "typed with its budget" 0.05 budget
+      | Error e ->
+          Alcotest.failf "expected Deadline_exceeded, got %s"
+            (Engine.error_kind e)
+      | Ok _ -> Alcotest.fail "expired request was evaluated anyway");
+      Alcotest.(check (float 0.)) "expiry counted" 1.0
+        (counter "engine.batch.deadline_expired" -. expired0);
+      (* the blocker itself must still get a typed answer, not a hang *)
+      match blocker_result with
+      | Ok _ | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe warm state: the response-cache journal                   *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = Tytra_engine.Journal
+
+let temp_journal () =
+  Filename.temp_file "tytra-journal" ".jsonl"
+
+let test_journal_roundtrip () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      (* payloads are opaque bytes: binary, newlines, quotes must all
+         survive the hex framing *)
+      let entries =
+        [ ("k1", "plain"); ("k2", "line\nbreak \"quoted\""); ("k3", "\x00\xff\x01") ]
+      in
+      (match Journal.open_append path with
+      | None -> Alcotest.fail "open_append refused a writable path"
+      | Some j ->
+          List.iter (fun (key, payload) -> Journal.append j ~key ~payload) entries;
+          Alcotest.(check int) "appended counted" 3 (Journal.appended j);
+          Alcotest.(check int) "no write errors" 0 (Journal.write_errors j);
+          Journal.close j);
+      let loaded, skipped = Journal.load path in
+      Alcotest.(check int) "no skips" 0 skipped;
+      Alcotest.(check (list (pair string string))) "entries survive" entries
+        loaded;
+      (* reopening appends after the existing entries *)
+      (match Journal.open_append path with
+      | None -> Alcotest.fail "reopen failed"
+      | Some j ->
+          Journal.append j ~key:"k4" ~payload:"late";
+          Journal.close j);
+      let loaded2, skipped2 = Journal.load path in
+      Alcotest.(check int) "still no skips" 0 skipped2;
+      Alcotest.(check int) "append extended" 4 (List.length loaded2))
+
+let test_journal_tolerates_corruption () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      (match Journal.open_append path with
+      | None -> Alcotest.fail "open_append refused a writable path"
+      | Some j ->
+          Journal.append j ~key:"good" ~payload:"payload";
+          Journal.close j);
+      (* a torn tail from a crash mid-write, then a digest mismatch *)
+      let oc = open_out_gen [ Open_append ] 0o600 path in
+      output_string oc "{\"v\":1,\"key\":\"torn";
+      close_out oc;
+      let loaded, skipped = Journal.load path in
+      Alcotest.(check int) "torn tail skipped" 1 skipped;
+      Alcotest.(check (list (pair string string))) "good entry survives"
+        [ ("good", "payload") ] loaded;
+      (* a file that is not a journal at all: nothing loads, everything
+         is accounted as skipped, nothing raises *)
+      let foreign = temp_journal () in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove foreign with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out foreign in
+          output_string oc "not a journal\nat all\n";
+          close_out oc;
+          let loaded, skipped = Journal.load foreign in
+          Alcotest.(check int) "foreign file loads nothing" 0
+            (List.length loaded);
+          Alcotest.(check bool) "foreign lines accounted" true (skipped >= 1));
+      (* a missing file is an empty journal, not an error *)
+      let missing, missing_skipped = Journal.load "/nonexistent/journal" in
+      Alcotest.(check int) "missing file: empty" 0 (List.length missing);
+      Alcotest.(check int) "missing file: no skips" 0 missing_skipped)
+
+(* The end-to-end warm-state contract: engine 2, created over engine
+   1's journal, serves engine 1's request as a cache HIT with byte-
+   identical text — the E10 warm path survives a process death. *)
+let test_journal_replays_into_fresh_engine () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let config = { Engine.default_config with cache_journal = Some path } in
+      let req = cost_inline hotspot_inline in
+      let first =
+        let eng1 = Engine.create config in
+        match Engine.submit eng1 req with
+        | Ok r -> r.Engine.rs_text
+        | Error e -> Alcotest.failf "first submit: %s" (Engine.error_message e)
+      in
+      let eng2 = Engine.create config in
+      let stats0 = Engine.response_cache_stats eng2 in
+      Alcotest.(check bool) "journal pre-warmed the fresh cache" true
+        (stats0.Tytra_exec.Cache.st_size >= 1);
+      (match Engine.submit eng2 req with
+      | Ok r ->
+          Alcotest.(check string) "warm answer byte-identical" first
+            r.Engine.rs_text
+      | Error e -> Alcotest.failf "warm submit: %s" (Engine.error_message e));
+      let stats1 = Engine.response_cache_stats eng2 in
+      Alcotest.(check int) "served as a hit" 1
+        (stats1.Tytra_exec.Cache.st_hits - stats0.Tytra_exec.Cache.st_hits);
+      Alcotest.(check int) "not re-evaluated" 0
+        (stats1.Tytra_exec.Cache.st_misses - stats0.Tytra_exec.Cache.st_misses))
+
+(* Typed wire errors: statuses the server chooses before the protocol
+   layer ever runs must still answer protocol JSON. *)
+let test_wire_error_responder () =
+  List.iter
+    (fun (status, kind) ->
+      match Daemon.wire_error status with
+      | None -> Alcotest.failf "no wire response for %d" status
+      | Some r -> (
+          Alcotest.(check int) "status preserved" status r.Serve.rs_status;
+          match Protocol.decode_reply r.Serve.rs_body with
+          | Ok (Protocol.Reply_error { re_kind; _ }) ->
+              Alcotest.(check string)
+                (Printf.sprintf "kind for %d" status)
+                kind re_kind
+          | Ok _ -> Alcotest.fail "expected an error reply"
+          | Error m -> Alcotest.failf "untyped body for %d: %s" status m))
+    [
+      (400, "bad_request");
+      (408, "bad_request");
+      (413, "request_too_large");
+      (429, "overloaded");
+    ];
+  Alcotest.(check bool) "unknown statuses fall through" true
+    (Daemon.wire_error 500 = None)
+
 let suite =
   [
     Alcotest.test_case "request codec round-trips" `Quick
@@ -1077,4 +1387,21 @@ let suite =
     Alcotest.test_case "response cache: exact stats under a 4-domain storm"
       `Slow test_response_cache_concurrent;
     Alcotest.test_case "TYTRA_BATCH spec parsing" `Quick test_parse_batch_spec;
+    Alcotest.test_case "deadline_ms codec: precedence + back-compat" `Quick
+      test_deadline_ms_codec;
+    QCheck_alcotest.to_alcotest deadline_fuzz_qcheck;
+    Alcotest.test_case "deadline_exceeded/request_too_large are typed" `Quick
+      test_new_error_kinds;
+    Alcotest.test_case "batcher: hopeless budgets refused at admission" `Quick
+      test_batcher_deadline_admission;
+    Alcotest.test_case "batcher: queued requests expire typed" `Slow
+      test_batcher_deadline_expiry;
+    Alcotest.test_case "journal: append/load round-trip" `Quick
+      test_journal_roundtrip;
+    Alcotest.test_case "journal: torn tails and foreign files tolerated" `Quick
+      test_journal_tolerates_corruption;
+    Alcotest.test_case "journal: warm state survives engine restart" `Quick
+      test_journal_replays_into_fresh_engine;
+    Alcotest.test_case "serve: wire statuses answer typed protocol JSON" `Quick
+      test_wire_error_responder;
   ]

@@ -31,4 +31,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("integration", Test_integration.suite);
       ("engine", Test_engine.suite);
+      ("selfheal", Test_selfheal.suite);
     ]
